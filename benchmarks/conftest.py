@@ -1,0 +1,30 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rendered artifact, saves it under ``benchmarks/results/`` and asserts the
+paper's qualitative shape (who wins, by roughly what factor).  Timing is
+measured with ``benchmark.pedantic(rounds=1)`` — these are end-to-end
+simulations, not microbenchmarks, so repetition buys nothing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit(request):
+    """Print an artifact and persist it under benchmarks/results/."""
+
+    def _emit(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

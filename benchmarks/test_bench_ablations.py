@@ -1,0 +1,90 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* SPF-timer sweep: fat tree's recovery tracks OSPF's initial SPF delay;
+  F²Tree's does not (§III discussion — why "just lower the timer" loses).
+* Detection-delay sweep: F²Tree's recovery *is* the detection delay.
+* Four across ports: the §II-C extension survives C7.
+* Prefix-length tie-break: the §II-B rule is loop-free under condition 2;
+  the equal-prefix variant ping-pongs some flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    count_c4_loops,
+    run_detection_delay_sweep,
+    run_four_across_c7,
+    run_spf_timer_sweep,
+)
+from repro.sim.units import milliseconds
+
+
+def test_bench_ablation_spf_timer(benchmark, emit):
+    points = benchmark.pedantic(run_spf_timer_sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation: SPF initial-delay sweep (single downward failure)",
+        f"{'spf delay (ms)':>15} {'fat-tree loss (ms)':>19} {'f2tree loss (ms)':>17}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.spf_initial_delay_ms:>15.0f} {p.fat_tree_loss_ms:>19.1f} "
+            f"{p.f2tree_loss_ms:>17.1f}"
+        )
+    emit("\n".join(lines))
+
+    # fat tree's loss rises ~1:1 with the timer; F2Tree's stays flat
+    spread_fat = points[-1].fat_tree_loss_ms - points[0].fat_tree_loss_ms
+    spread_f2 = abs(points[-1].f2tree_loss_ms - points[0].f2tree_loss_ms)
+    assert spread_fat > 0.8 * (
+        points[-1].spf_initial_delay_ms - points[0].spf_initial_delay_ms
+    )
+    assert spread_f2 < 10
+    # F2Tree beats fat tree even at the shortest (unsafe) timer setting
+    assert all(p.f2tree_loss_ms < p.fat_tree_loss_ms for p in points)
+
+
+def test_bench_ablation_detection_delay(benchmark, emit):
+    points = benchmark.pedantic(
+        run_detection_delay_sweep, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: failure-detection delay sweep (F2Tree, single failure)",
+        f"{'detection (ms)':>15} {'f2tree loss (ms)':>17}",
+    ]
+    for p in points:
+        lines.append(f"{p.detection_delay_ms:>15.0f} {p.f2tree_loss_ms:>17.1f}")
+    emit("\n".join(lines))
+
+    for p in points:
+        assert p.f2tree_loss_ms == pytest.approx(p.detection_delay_ms, abs=3)
+
+
+def test_bench_ablation_four_across(benchmark, emit):
+    two, four = benchmark.pedantic(run_four_across_c7, rounds=1, iterations=1)
+    emit(
+        "Ablation: C7 (condition 4) with 2 vs 4 across ports\n"
+        f"  2 across ports: {two.connectivity_loss_ms:7.1f} ms "
+        f"(fast reroute: {two.fast_rerouted})\n"
+        f"  4 across ports: {four.connectivity_loss_ms:7.1f} ms "
+        f"(fast reroute: {four.fast_rerouted})"
+    )
+    assert not two.fast_rerouted
+    assert four.fast_rerouted
+
+
+def test_bench_ablation_tie_break(benchmark, emit):
+    def census():
+        return count_c4_loops("prefix-length"), count_c4_loops("none")
+
+    clean, flawed = benchmark.pedantic(census, rounds=1, iterations=1)
+    emit(
+        "Ablation: backup-route prefix-length tie-break under C4\n"
+        f"  prefix-length rule: {clean.flows_looping}/{clean.flows_traced} "
+        f"flows loop\n"
+        f"  equal-prefix ECMP:  {flawed.flows_looping}/{flawed.flows_traced} "
+        f"flows loop"
+    )
+    assert clean.flows_looping == 0
+    assert flawed.flows_looping > 0

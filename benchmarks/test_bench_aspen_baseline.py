@@ -1,0 +1,34 @@
+"""Baseline benchmark: Aspen tree <1,0> vs F²Tree (§VI / Table I critique).
+
+Asserts the paper's related-work argument as measurements: Aspen's
+parallel links protect only the agg<->core layer, rack-link failures
+still pay the full control-plane price, and the capacity cost is half
+the fabric (vs F²Tree's low-order term).
+"""
+
+from __future__ import annotations
+
+from repro.core.scalability import aspen_row, f2tree_row, fat_tree_row
+from repro.experiments.aspen import render_aspen_comparison, run_aspen_comparison
+
+
+def test_bench_aspen_baseline(benchmark, emit):
+    rows = benchmark.pedantic(run_aspen_comparison, rounds=1, iterations=1)
+    capacity = (
+        f"\nTable I @N=16: fat tree {fat_tree_row(16).nodes} hosts, "
+        f"aspen<1,0> {aspen_row(16, 1).nodes}, f2tree {f2tree_row(16).nodes}"
+    )
+    emit(render_aspen_comparison(rows) + capacity)
+
+    by_key = {(r.topology.split("-")[0], r.failure): r for r in rows}
+    aspen_core = by_key[("aspen", "one parallel agg<->core link")]
+    aspen_rack = by_key[("aspen", "rack (ToR<->agg) link")]
+    f2_core = by_key[("f2tree", "agg<->core link")]
+    f2_rack = by_key[("f2tree", "rack (ToR<->agg) link")]
+
+    assert aspen_core.fast_recovery  # the fault-tolerant layer works...
+    assert not aspen_rack.fast_recovery  # ...but only that layer
+    assert f2_core.fast_recovery and f2_rack.fast_recovery
+    # capacity: Aspen halves the fabric, F2Tree loses a low-order term
+    assert aspen_row(16, 1).nodes == fat_tree_row(16).nodes // 2
+    assert f2tree_row(16).nodes > 0.7 * fat_tree_row(16).nodes

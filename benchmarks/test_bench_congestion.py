@@ -1,0 +1,27 @@
+"""Critical-evaluation benchmark: backup-path congestion under fast reroute.
+
+Not a paper figure — the paper treats across links purely as backup
+capacity.  This measures the limitation: rerouted load beyond one link's
+rate drops until the control plane re-spreads the flows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.congestion import render_congestion, run_congestion_sweep
+
+
+def test_bench_congestion(benchmark, emit):
+    results = benchmark.pedantic(run_congestion_sweep, rounds=1, iterations=1)
+    emit(render_congestion(results))
+
+    light, full, over = results
+    # under the across link's capacity: loss-free fast reroute
+    assert light.reroute_delivery_ratio > 0.99
+    assert light.across_queue_drops == 0
+    assert full.reroute_delivery_ratio > 0.99
+    # over capacity: the across link saturates and drops the excess...
+    assert over.across_utilization > 0.98
+    assert over.reroute_delivery_ratio < 0.85
+    assert over.across_queue_drops > 0
+    # ...until convergence re-spreads the flows over the healthy aggs
+    assert over.post_convergence_delivery_ratio > 0.99

@@ -1,0 +1,67 @@
+"""Extension benchmarks: the §V claims and the stated future work, measured.
+
+* BGP-style routing: fat tree's recovery grows with the MRAI (path
+  hunting burns advertisement rounds); F²Tree stays at detection.
+* Centralized (SDN) routing: fat tree's recovery includes the
+  report→compute→push loop and grows with controller latency; F²Tree
+  bridges the window locally (the gap the paper predicts grows with
+  scale).
+* Unidirectional failures: F²Tree needs *local* detection — with
+  BFD-style sessions it fast-reroutes, with interface-only detection the
+  sender never notices and recovery degrades to the control plane.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import (
+    render_routing_comparison,
+    render_unidirectional,
+    run_centralized_comparison,
+    run_pathvector_comparison,
+    run_unidirectional,
+)
+from repro.sim.units import milliseconds
+
+
+def test_bench_ext_pathvector(benchmark, emit):
+    rows = benchmark.pedantic(run_pathvector_comparison, rounds=1, iterations=1)
+    emit(
+        render_routing_comparison(
+            "Extension: BGP-style (path-vector, valley-free) routing, "
+            "single downward failure",
+            rows,
+        )
+    )
+    # fat tree's loss grows ~1:1 with MRAI; F2Tree's stays at detection
+    assert rows[-1].fat_tree_loss_ms > rows[0].fat_tree_loss_ms + 200
+    assert all(55 < r.f2tree_loss_ms < 75 for r in rows)
+    assert all(r.reduction > 0.3 for r in rows)
+
+
+def test_bench_ext_centralized(benchmark, emit):
+    rows = benchmark.pedantic(run_centralized_comparison, rounds=1, iterations=1)
+    emit(
+        render_routing_comparison(
+            "Extension: centralized (SDN-style) routing, "
+            "single downward failure",
+            rows,
+        )
+    )
+    # the benefit grows with the control loop's length (the paper's
+    # "especially in a large scale network")
+    assert rows[-1].fat_tree_loss_ms > rows[0].fat_tree_loss_ms + 30
+    assert all(55 < r.f2tree_loss_ms < 75 for r in rows)
+    reductions = [r.reduction for r in rows]
+    assert reductions == sorted(reductions)
+
+
+def test_bench_ext_unidirectional(benchmark, emit):
+    def run_both():
+        return [run_unidirectional("bfd"), run_unidirectional("interface")]
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(render_unidirectional(outcomes))
+    bfd, interface = outcomes
+    assert bfd.fast_rerouted
+    assert not interface.fast_rerouted
+    assert interface.connectivity_loss_ms > bfd.connectivity_loss_ms * 3

@@ -1,0 +1,39 @@
+"""Fig 2 + Table III: the §III testbed experiment.
+
+4-port fat tree vs the rewired F²Tree prototype; UDP and TCP flows; one
+downward ToR<->agg link torn down mid-flow.  Regenerates the Fig 2
+throughput time series (ASCII) and the Table III numbers, and asserts the
+paper's shape: ~78 % shorter connectivity loss, ~75 % fewer packets lost,
+TCP collapse cut from two RTOs to one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.testbed import render_table_three, run_table_three, run_testbed
+from repro.metrics.timeseries import render_throughput
+from repro.sim.units import milliseconds
+
+
+def test_bench_fig2_table3(benchmark, emit):
+    rows = benchmark.pedantic(run_table_three, rounds=1, iterations=1)
+
+    udp_fat = run_testbed("fat-tree", "udp")
+    udp_f2 = run_testbed("f2tree", "udp")
+    pieces = [render_table_three(rows), ""]
+    for label, result in (("fat tree", udp_fat), ("F2Tree", udp_f2)):
+        pieces.append(f"Fig 2(a)-style UDP receiving throughput, {label}:")
+        window = [
+            b for b in result.throughput
+            if result.failure_time - milliseconds(200)
+            <= b.start
+            < result.failure_time + milliseconds(500)
+        ]
+        pieces.append(render_throughput(window, result.failure_time))
+        pieces.append("")
+    emit("\n".join(pieces))
+
+    fat, f2 = rows["fat-tree"], rows["f2tree"]
+    reduction = 1 - f2.connectivity_loss_us / fat.connectivity_loss_us
+    assert 0.7 < reduction < 0.85  # paper: 78 %
+    assert f2.packets_lost < fat.packets_lost / 3  # paper: -75 %
+    assert f2.collapse_us < fat.collapse_us / 2  # paper: 220 vs 700 ms

@@ -1,0 +1,38 @@
+"""Fig 5: end-to-end delay during recovery (C1, C4, C5, C7 + fat-tree C1).
+
+Asserts the paper's numbers: ~100 us baseline; 117 us during C1's fast
+reroute (one extra 17 us hop), more for the longer C4/C5 relays; a loss
+window of ~60 ms for fast-rerouted conditions vs ~270 ms for fat tree and
+C7; and a return to baseline after the control plane converges.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.conditions import render_figure_five, run_figure_five
+
+
+def test_bench_fig5_delay(benchmark, emit):
+    profiles = benchmark.pedantic(run_figure_five, rounds=1, iterations=1)
+    emit(render_figure_five(profiles))
+
+    by_key = {(p.kind, p.label): p for p in profiles}
+
+    c1 = by_key[("f2tree", "C1")]
+    assert abs(c1.before_us - 102) < 4  # paper: "100 us"
+    assert abs(c1.during_reroute_us - (c1.before_us + 17)) < 4  # paper: 117 us
+    assert abs(c1.after_us - c1.before_us) < 4
+    assert 55 < c1.loss_window_ms < 75
+
+    c4 = by_key[("f2tree", "C4")]
+    c5 = by_key[("f2tree", "C5")]
+    assert c4.during_reroute_us > c1.during_reroute_us  # longer relay
+    assert c5.during_reroute_us > c4.during_reroute_us
+
+    c7 = by_key[("f2tree", "C7")]
+    fat = by_key[("fat-tree", "C1")]
+    assert c7.loss_window_ms > 250  # degrades to fat tree
+    assert fat.loss_window_ms > 250
+    # fat tree never fast-reroutes: its mid-outage window has no samples
+    assert math.isnan(fat.during_reroute_us)

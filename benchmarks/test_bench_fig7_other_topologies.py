@@ -1,0 +1,30 @@
+"""Fig 7: the F²Tree scheme applied to Leaf-Spine and VL2 (§V).
+
+A downward rack-link failure on each fabric: the original topologies wait
+for control-plane convergence (~270 ms) while the F² adaptations reroute
+locally within the detection delay (~60 ms).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.other_topologies import (
+    render_figure_seven,
+    run_figure_seven,
+)
+
+
+def test_bench_fig7_other_topologies(benchmark, emit):
+    rows = benchmark.pedantic(run_figure_seven, rounds=1, iterations=1)
+    emit(render_figure_seven(rows))
+
+    by_kind = {r.kind: r for r in rows}
+    for plain, adapted in (("leaf-spine", "f2-leaf-spine"), ("vl2", "f2-vl2")):
+        assert by_kind[plain].connectivity_loss_ms > 250
+        assert not by_kind[plain].fast_rerouted
+        assert 55 < by_kind[adapted].connectivity_loss_ms < 75
+        assert by_kind[adapted].fast_rerouted
+        reduction = 1 - (
+            by_kind[adapted].connectivity_loss_ms
+            / by_kind[plain].connectivity_loss_ms
+        )
+        assert reduction > 0.7

@@ -1,0 +1,49 @@
+"""Table I: scalability and deployment comparison.
+
+Regenerates the paper's table for N = 8 (the emulation scale) and N = 128
+(the paper's §II-D example), and cross-checks the closed forms against
+actually constructed topologies.
+"""
+
+from __future__ import annotations
+
+from repro.core.f2tree import f2tree
+from repro.core.scalability import (
+    f2tree_row,
+    fat_tree_row,
+    node_reduction_vs_fat_tree,
+    render_table_one,
+)
+from repro.topology.fattree import fat_tree
+
+
+def test_bench_table1(benchmark, emit):
+    def build():
+        lines = [render_table_one(8), "", render_table_one(128)]
+        lines.append(
+            f"\nF2Tree node reduction vs fat tree @N=128: "
+            f"{node_reduction_vs_fat_tree(128):.1%} (paper: 'about 2%')"
+        )
+        # cross-check formulas against real constructions at N=8
+        fat = fat_tree(8)
+        f2 = f2tree(8)
+        lines.append(
+            f"constructed fat-tree(8): {len(fat.switches())} switches, "
+            f"{len(fat.hosts())} hosts (formula: {fat_tree_row(8).switches}, "
+            f"{fat_tree_row(8).nodes})"
+        )
+        lines.append(
+            f"constructed f2tree(8):   {len(f2.switches())} switches, "
+            f"{len(f2.hosts())} hosts (formula: {f2tree_row(8).switches}, "
+            f"{f2tree_row(8).nodes})"
+        )
+        return "\n".join(lines), fat, f2
+
+    text, fat, f2 = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(text)
+
+    assert len(fat.switches()) == fat_tree_row(8).switches
+    assert len(f2.switches()) == f2tree_row(8).switches
+    assert len(f2.hosts()) == f2tree_row(8).nodes
+    # §II-D: the loss is a low-order term
+    assert node_reduction_vs_fat_tree(128) < 0.05

@@ -1,0 +1,45 @@
+"""Table II: the routing table of an aggregation switch in a 6-port
+F²Tree (Fig 3's S8), with the two backup static routes last.
+
+Checks the paper's exact structure: OSPF routes for every rack subnet, a
+``/16`` backup via the right across neighbor and a ``/15`` via the left,
+present in the FIB *before* any failure.
+"""
+
+from __future__ import annotations
+
+from repro.core.backup_routes import render_routing_table, ring_neighbors_of
+from repro.core.f2tree import f2tree
+from repro.experiments.common import build_bundle
+from repro.topology.addressing import COVERING_PREFIX, DCN_PREFIX
+from repro.topology.graph import NodeKind
+
+
+def test_bench_table2(benchmark, emit):
+    def build():
+        topo = f2tree(6)
+        bundle = build_bundle(topo)
+        bundle.converge()
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        return topo, bundle, agg, render_routing_table(bundle.network, agg)
+
+    topo, bundle, agg, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        "Table II: routing table of the Fig 3 aggregation switch "
+        f"({agg}) in a 6-port F2Tree\n\n{text}"
+    )
+
+    switch = bundle.network.switch(agg)
+    neighbors = ring_neighbors_of(topo, agg)
+    right_route = switch.fib.exact(DCN_PREFIX)
+    left_route = switch.fib.exact(COVERING_PREFIX)
+    assert right_route is not None and right_route.source == "static"
+    assert left_route is not None and left_route.source == "static"
+    assert right_route.next_hops == (neighbors.right,)
+    assert left_route.next_hops == (neighbors.left,)
+    # routing-protocol routes exist for every remote rack subnet
+    linkstate_routes = [
+        e for e in switch.fib.entries() if e.source == "linkstate"
+    ]
+    racks = len(topo.nodes_of_kind(NodeKind.TOR))
+    assert len(linkstate_routes) >= racks - 2  # minus the two local racks

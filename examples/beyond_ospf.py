@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Beyond OSPF: F²Tree under BGP and SDN control planes (§V, measured).
+
+The paper argues — without measuring — that F²Tree's scheme helps DCNs
+running BGP and centralized routing too, because the backup static routes
+live *below* whatever the control plane installs.  This demo swaps the
+control plane (same topology, same failure, same flow) and measures:
+
+* path-vector / BGP: fat tree's recovery pays MRAI-gated path hunting;
+* centralized / SDN: fat tree's recovery pays the report->compute->push
+  loop;
+* F²Tree: ~60 ms (the detection delay) under every control plane.
+
+It also measures the future-work caveat: with interface-only (instead of
+BFD-style) detection, a *unidirectional* downward failure is invisible to
+the sending switch, and even F²Tree degrades to control-plane recovery —
+local rerouting needs local detection.
+
+Run:  python examples/beyond_ospf.py   (~1.5 minutes)
+"""
+
+from repro.experiments.extensions import (
+    render_routing_comparison,
+    render_unidirectional,
+    run_centralized_comparison,
+    run_pathvector_comparison,
+    run_unidirectional,
+)
+from repro.sim.units import milliseconds
+
+
+def main() -> None:
+    print(
+        render_routing_comparison(
+            "BGP-style routing (valley-free path vector), downward failure:",
+            run_pathvector_comparison(
+                mrai_values=(milliseconds(30), milliseconds(100), milliseconds(300))
+            ),
+        )
+    )
+    print()
+    print(
+        render_routing_comparison(
+            "Centralized (SDN-style) routing, downward failure:",
+            run_centralized_comparison(
+                control_latencies=(milliseconds(1), milliseconds(5), milliseconds(20))
+            ),
+        )
+    )
+    print()
+    print(
+        render_unidirectional(
+            [run_unidirectional("bfd"), run_unidirectional("interface")]
+        )
+    )
+    print()
+    print("takeaways: the backup routes are control-plane-agnostic, and the")
+    print("60 ms floor is exactly the local failure-detection delay.")
+
+
+if __name__ == "__main__":
+    main()

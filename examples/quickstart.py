@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: what F²Tree is and what it buys you, in ~30 seconds.
+
+Builds the paper's §III testbed pair — the 4-port fat tree and the
+F²Tree prototype obtained by rewiring two links per aggregation/core
+switch — then tears down a downward rack link under a live UDP flow in
+each and compares recovery (Table III).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.backup_routes import render_routing_table
+from repro.core.f2tree import rewire_fat_tree_prototype
+from repro.experiments.common import build_bundle
+from repro.experiments.testbed import run_testbed
+from repro.sim.units import to_milliseconds
+from repro.topology.fattree import fat_tree
+
+
+def main() -> None:
+    # 1. the rewiring: fat tree -> F2Tree, as a physical work order
+    fat = fat_tree(4)
+    f2, plan = rewire_fat_tree_prototype(fat)
+    print(f"rewiring {fat.name} -> {f2.name}:")
+    print(f"  links unplugged : {len(plan.removed)}")
+    print(f"  links added     : {len(plan.added)} (the across rings)")
+    print(f"  racks given up  : {len(plan.unsupported_tors)}"
+          f" {plan.unsupported_tors}")
+    print(f"  per-switch cost : 2 rewired links (e.g. agg-0-0:"
+          f" {plan.rewired_links_of('agg-0-0')})")
+    print()
+
+    # 2. the configuration: two static backup routes per ring switch
+    bundle = build_bundle(f2)
+    bundle.converge()
+    print(render_routing_table(bundle.network, "agg-3-1"))
+    print()
+
+    # 3. the payoff: recovery from a downward link failure (Table III)
+    print("failing the downward rack link under a live UDP flow...")
+    for kind in ("fat-tree", "f2tree"):
+        result = run_testbed(kind, "udp")
+        print(
+            f"  {kind:<9} connectivity loss "
+            f"{to_milliseconds(result.connectivity_loss):6.1f} ms, "
+            f"{result.packets_lost} packets lost "
+            f"(path during outage: "
+            f"{'fast-rerouted' if result.path_during[1] else 'black hole'})"
+        )
+    print()
+    print("paper (Table III): fat tree 272.8 ms / F2Tree 60.6 ms (-78%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The deployment story: everything an operator would actually do.
+
+F²Tree's pitch (§I, Table I) is that it needs **no software changes** —
+only cabling and configuration.  This example prints the complete
+deployment artifact for the 4-port testbed: the cables to unplug, the
+cables to add, and the static-route lines per switch, then verifies the
+result against Table I's capacity accounting.
+
+Run:  python examples/rewiring_work_order.py
+"""
+
+from repro.core.backup_routes import backup_routes_for
+from repro.core.f2tree import rewire_fat_tree_prototype
+from repro.core.scalability import (
+    immediate_backup_links,
+    render_table_one,
+)
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import NodeKind
+
+
+def main() -> None:
+    fat = fat_tree(4)
+    f2, plan = rewire_fat_tree_prototype(fat)
+
+    print("=== WORK ORDER: fat-tree-4 -> f2tree-prototype-4 ===\n")
+    print(f"Step 1 - unplug {len(plan.removed)} cables:")
+    for a, b in plan.removed:
+        print(f"  - {a} <-> {b}")
+    print(f"\nStep 2 - add {len(plan.added)} cables (the across rings):")
+    for a, b in plan.added:
+        print(f"  + {a} <-> {b}")
+    print(f"\nStep 3 - racks no longer supported: {plan.unsupported_tors}")
+
+    print("\nStep 4 - add static routes (the complete config change):")
+    for switch in f2.nodes_of_kind(NodeKind.AGG, NodeKind.CORE):
+        routes = backup_routes_for(f2, switch.name)
+        for route in routes:
+            print(f"  {switch.name}: {route}")
+
+    print("\n=== what this buys (Table I / §II-A) ===\n")
+    fat_links = immediate_backup_links(4, "fat-tree")
+    f2_links = immediate_backup_links(4, "f2tree")
+    print(f"immediate backup links per downward link: "
+          f"{fat_links['downward']} -> {f2_links['downward']}")
+    print(f"immediate backup links per upward link:   "
+          f"{fat_links['upward']} -> {f2_links['upward']}\n")
+    print(render_table_one(4))
+
+
+if __name__ == "__main__":
+    main()

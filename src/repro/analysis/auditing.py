@@ -1,0 +1,100 @@
+"""Runtime path auditing: loops and path inflation.
+
+The paper warns that in larger networks, convergence causes "path
+inflation and temporary loops".  :class:`PathAuditor` taps every switch's
+forwarding hook and reconstructs, per packet, the sequence of switches it
+visited — so experiments can *measure* loops (a packet revisiting a
+switch), stretch (hops beyond the baseline), and where packets died.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dataplane.network import Network
+from ..net.packet import Packet
+
+
+@dataclass
+class PacketTrace:
+    """The forwarding history of one packet."""
+
+    uid: int
+    visited: List[str] = field(default_factory=list)
+
+    @property
+    def looped(self) -> bool:
+        return len(set(self.visited)) < len(self.visited)
+
+    @property
+    def hops(self) -> int:
+        return len(self.visited)
+
+
+class PathAuditor:
+    """Records every forwarding operation in a network.
+
+    Attach before traffic starts; query after.  Auditing every packet is
+    O(1) per hop, so it is cheap enough to leave on in experiments that
+    want loop/stretch evidence (e.g. the C7 ping-pong).
+    """
+
+    def __init__(self, network: Network, protocols: Tuple[int, ...] = ()) -> None:
+        self.network = network
+        #: restrict auditing to these IP protocols (empty = all)
+        self.protocols = protocols
+        self._traces: Dict[int, PacketTrace] = {}
+        for switch in network.switches():
+            switch.forward_taps.append(self._on_forward)
+
+    def _on_forward(self, packet: Packet, switch_name: str) -> None:
+        if self.protocols and packet.protocol not in self.protocols:
+            return
+        trace = self._traces.get(packet.uid)
+        if trace is None:
+            trace = PacketTrace(uid=packet.uid)
+            self._traces[packet.uid] = trace
+        trace.visited.append(switch_name)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def packets_seen(self) -> int:
+        return len(self._traces)
+
+    def traces(self) -> List[PacketTrace]:
+        return list(self._traces.values())
+
+    def looped_packets(self) -> List[PacketTrace]:
+        """Packets that visited some switch more than once."""
+        return [t for t in self._traces.values() if t.looped]
+
+    def loop_ratio(self) -> float:
+        if not self._traces:
+            return 0.0
+        return len(self.looped_packets()) / len(self._traces)
+
+    def hop_histogram(self) -> Counter:
+        """Distribution of per-packet switch-visit counts."""
+        return Counter(t.hops for t in self._traces.values())
+
+    def max_stretch(self, baseline_hops: int) -> int:
+        """Worst extra hops observed relative to a baseline path length."""
+        if not self._traces:
+            return 0
+        return max(t.hops for t in self._traces.values()) - baseline_hops
+
+    def bounce_census(self) -> Counter:
+        """How often each (a, b) switch pair bounced a packet a->b->a —
+        the §II-C condition-4 signature."""
+        bounces: Counter = Counter()
+        for trace in self._traces.values():
+            for first, second, third in zip(
+                trace.visited, trace.visited[1:], trace.visited[2:]
+            ):
+                if first == third and first != second:
+                    pair = tuple(sorted((first, second)))
+                    bounces[pair] += 1
+        return bounces

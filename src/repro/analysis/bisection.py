@@ -1,0 +1,101 @@
+"""Bisection bandwidth and oversubscription analysis (§II-D).
+
+The paper claims F²Tree "keeps the merits of fat tree such as no
+oversubscription and rich path diversity, only trading a little bisection
+bandwidth".  These functions make the claim checkable:
+
+* :func:`bisection_bandwidth` — max-flow between the left and right
+  halves of the hosts (the classic bisection);
+* :func:`host_capacity` — max-flow between one host pair (1 link's worth
+  everywhere in a non-oversubscribed fabric);
+* :func:`rack_uplink_oversubscription` — rack downlink:uplink ratio
+  (1:1 = non-oversubscribed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..topology.graph import LinkKind, Topology
+from .maxflow import FlowNetwork
+
+#: synthetic terminals for multi-source/multi-sink flows
+_SOURCE = ("__source__",)
+_SINK = ("__sink__",)
+
+
+def _flow_network(topo: Topology, link_capacity: float = 1.0) -> FlowNetwork:
+    net = FlowNetwork()
+    for link in topo.links.values():
+        net.add_undirected(link.a, link.b, link_capacity)
+    return net
+
+
+def host_capacity(
+    topo: Topology, src: str, dst: str, link_capacity: float = 1.0
+) -> float:
+    """Max-flow between two hosts (bounded by their single uplinks)."""
+    return _flow_network(topo, link_capacity).max_flow(src, dst)
+
+
+def bisection_bandwidth(
+    topo: Topology,
+    left: Optional[Sequence[str]] = None,
+    right: Optional[Sequence[str]] = None,
+    link_capacity: float = 1.0,
+) -> float:
+    """Max-flow between two host sets (defaults: left/right halves).
+
+    The default split takes hosts in the paper's left-to-right figure
+    order, so for pod-structured fabrics it cuts through the core — the
+    worst (classic) bisection.
+    """
+    from ..experiments.common import hosts_left_to_right
+
+    hosts = hosts_left_to_right(topo)
+    if left is None or right is None:
+        half = len(hosts) // 2
+        left, right = hosts[:half], hosts[half:]
+    if not left or not right:
+        raise ValueError("both sides of the bisection need hosts")
+    if set(left) & set(right):
+        raise ValueError("bisection sides overlap")
+    net = _flow_network(topo, link_capacity)
+    for host in left:
+        net.add_edge(_SOURCE, host, float("inf"))
+    for host in right:
+        net.add_edge(host, _SINK, float("inf"))
+    return net.max_flow(_SOURCE, _SINK)
+
+
+def full_bisection(topo: Topology, link_capacity: float = 1.0) -> float:
+    """The non-blocking ideal: half the hosts sending at line rate."""
+    n_hosts = len(topo.hosts())
+    return (n_hosts // 2) * link_capacity
+
+
+def rack_uplink_oversubscription(topo: Topology, tor: str) -> float:
+    """downlink:uplink capacity ratio at a rack (1.0 = non-oversubscribed)."""
+    links = topo.links_of(tor)
+    down = sum(1 for l in links if l.kind is LinkKind.HOST)
+    up = len(links) - down
+    if up == 0:
+        raise ValueError(f"{tor} has no uplinks")
+    return down / up
+
+
+def bisection_report(topologies: Sequence[Topology]) -> str:
+    """Comparative table (used by the §II-D ablation benchmark)."""
+    lines = [
+        f"{'topology':<22} {'hosts':>6} {'bisection':>10} {'ideal':>7} "
+        f"{'fraction':>9}"
+    ]
+    for topo in topologies:
+        measured = bisection_bandwidth(topo)
+        ideal = full_bisection(topo)
+        fraction = measured / ideal if ideal else float("nan")
+        lines.append(
+            f"{topo.name:<22} {len(topo.hosts()):>6} {measured:>10.0f} "
+            f"{ideal:>7.0f} {fraction:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Max-flow on topologies (Edmonds-Karp).
+
+Self-contained so the core library keeps zero dependencies; the test
+suite cross-validates against networkx.  Used by
+:mod:`repro.analysis.bisection` to check the §II-D claims about bisection
+bandwidth and oversubscription.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class FlowNetwork:
+    """A directed capacitated graph with an Edmonds-Karp max-flow."""
+
+    def __init__(self) -> None:
+        self._capacity: Dict[Node, Dict[Node, float]] = {}
+
+    def add_edge(self, u: Node, v: Node, capacity: float) -> None:
+        """Add directed capacity (accumulating over parallel edges)."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity}")
+        self._capacity.setdefault(u, {})
+        self._capacity.setdefault(v, {})
+        self._capacity[u][v] = self._capacity[u].get(v, 0.0) + capacity
+        self._capacity[v].setdefault(u, 0.0)
+
+    def add_undirected(self, u: Node, v: Node, capacity: float) -> None:
+        """An undirected link: full capacity in each direction."""
+        self.add_edge(u, v, capacity)
+        self.add_edge(v, u, capacity)
+
+    def max_flow(self, source: Node, sink: Node) -> float:
+        """Edmonds-Karp (BFS augmenting paths) on a residual copy."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        residual: Dict[Node, Dict[Node, float]] = {
+            u: dict(neighbors) for u, neighbors in self._capacity.items()
+        }
+        residual.setdefault(source, {})
+        residual.setdefault(sink, {})
+        total = 0.0
+        while True:
+            # BFS for the shortest augmenting path
+            parents: Dict[Node, Node] = {source: source}
+            queue = deque([source])
+            while queue and sink not in parents:
+                u = queue.popleft()
+                for v, cap in residual.get(u, {}).items():
+                    if cap > 1e-12 and v not in parents:
+                        parents[v] = u
+                        queue.append(v)
+            if sink not in parents:
+                return total
+            # find the bottleneck
+            bottleneck = float("inf")
+            v = sink
+            while v != source:
+                u = parents[v]
+                bottleneck = min(bottleneck, residual[u][v])
+                v = u
+            # augment
+            v = sink
+            while v != source:
+                u = parents[v]
+                residual[u][v] -= bottleneck
+                residual[v][u] = residual[v].get(u, 0.0) + bottleneck
+                v = u
+            total += bottleneck

@@ -1,0 +1,74 @@
+"""Immediate-backup-link accounting, measured from live FIBs (§II-A/§II-B).
+
+The paper defines an **immediate backup link** for link L at switch S: a
+link S can keep forwarding on, using only local information, when L fails.
+Instead of trusting the closed forms (fat tree: ``N/2-1`` upward, ``0``
+downward; F²Tree: ``N/2`` upward, ``2`` downward), this module counts them
+from a converged network's actual forwarding state: walk the FIB match
+chain for the destination, drop the failed peer, and count the surviving
+distinct next hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..dataplane.network import Network
+from ..net.fib import LOCAL
+from ..net.ip import IPv4Address
+
+
+def immediate_backups(
+    network: Network,
+    switch: str,
+    destination: IPv4Address,
+    failed_peer: str,
+) -> int:
+    """Surviving forwarding choices at ``switch`` toward ``destination``
+    if the adjacency to ``failed_peer`` died (local information only).
+
+    Counts distinct next hops over the whole longest-prefix match chain —
+    exactly the set the data plane's fall-through can reach — excluding
+    the failed peer.
+    """
+    sw = network.switch(switch)
+    survivors: Set[str] = set()
+    for entry in sw.fib.matches(destination):
+        for next_hop in entry.next_hops:
+            if next_hop == LOCAL or next_hop == failed_peer:
+                continue
+            if sw.neighbor_alive(str(next_hop)):
+                survivors.add(str(next_hop))
+    return len(survivors)
+
+
+@dataclass
+class BackupProfile:
+    """Backup-link counts for one switch, §II-A style."""
+
+    switch: str
+    #: surviving choices if the downward (destination-side) peer fails
+    downward: int
+    #: surviving choices if one upward peer fails
+    upward: int
+
+
+def profile_agg_switch(
+    network: Network,
+    agg: str,
+    down_peer: str,
+    local_destination: IPv4Address,
+    remote_destination: IPv4Address,
+    up_peer: str,
+) -> BackupProfile:
+    """The two §II-A numbers for one aggregation switch.
+
+    ``local_destination`` must live under ``down_peer`` (a ToR below the
+    agg); ``remote_destination`` must be reached via the uplinks.
+    """
+    return BackupProfile(
+        switch=agg,
+        downward=immediate_backups(network, agg, local_destination, down_peer),
+        upward=immediate_backups(network, agg, remote_destination, up_peer),
+    )

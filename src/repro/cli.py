@@ -1,0 +1,267 @@
+"""Command-line interface: regenerate any paper artifact by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table3
+    python -m repro run fig4 fig5 --out results/
+    python -m repro run all --out results/
+
+Each artifact is a self-contained function returning the rendered text
+(the same renderers the benchmark suite asserts against).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def _table1() -> str:
+    from .core.scalability import node_reduction_vs_fat_tree, render_table_one
+
+    return "\n\n".join(
+        [
+            render_table_one(8),
+            render_table_one(128),
+            f"F2Tree node reduction vs fat tree @N=128: "
+            f"{node_reduction_vs_fat_tree(128):.1%}",
+        ]
+    )
+
+
+def _table2() -> str:
+    from .core.backup_routes import render_routing_table
+    from .core.f2tree import f2tree
+    from .experiments.common import build_bundle
+    from .topology.graph import NodeKind
+
+    topo = f2tree(6)
+    bundle = build_bundle(topo)
+    bundle.converge()
+    agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+    return render_routing_table(bundle.network, agg)
+
+
+def _table3() -> str:
+    from .experiments.testbed import render_table_three, run_table_three
+
+    return render_table_three(run_table_three())
+
+
+def _fig4() -> str:
+    from .experiments.conditions import render_figure_four, run_figure_four
+
+    return render_figure_four(run_figure_four())
+
+
+def _fig5() -> str:
+    from .experiments.conditions import render_figure_five, run_figure_five
+
+    return render_figure_five(run_figure_five())
+
+
+def _fig6() -> str:
+    from .experiments.partition_aggregate import render_figure_six, run_figure_six
+
+    return render_figure_six([run_figure_six(1), run_figure_six(5)])
+
+
+def _fig7() -> str:
+    from .experiments.other_topologies import (
+        render_figure_seven,
+        run_figure_seven,
+    )
+
+    return render_figure_seven(run_figure_seven())
+
+
+def _ablations() -> str:
+    from .experiments.ablations import (
+        count_c4_loops,
+        run_detection_delay_sweep,
+        run_four_across_c7,
+        run_spf_timer_sweep,
+    )
+
+    pieces = []
+    spf = run_spf_timer_sweep()
+    pieces.append("SPF-timer sweep (fat-tree loss tracks the timer):")
+    pieces.extend(
+        f"  spf={p.spf_initial_delay_ms:.0f}ms fat={p.fat_tree_loss_ms:.1f}ms "
+        f"f2={p.f2tree_loss_ms:.1f}ms"
+        for p in spf
+    )
+    detection = run_detection_delay_sweep()
+    pieces.append("Detection-delay sweep (F2Tree loss == detection):")
+    pieces.extend(
+        f"  detect={p.detection_delay_ms:.0f}ms f2={p.f2tree_loss_ms:.1f}ms"
+        for p in detection
+    )
+    two, four = run_four_across_c7()
+    pieces.append(
+        f"Four across ports on C7: 2-port {two.connectivity_loss_ms:.1f}ms"
+        f" -> 4-port {four.connectivity_loss_ms:.1f}ms"
+    )
+    clean = count_c4_loops("prefix-length")
+    flawed = count_c4_loops("none")
+    pieces.append(
+        f"Tie-break loops under C4: prefix-length "
+        f"{clean.flows_looping}/{clean.flows_traced}, equal-prefix "
+        f"{flawed.flows_looping}/{flawed.flows_traced}"
+    )
+    return "\n".join(pieces)
+
+
+def _extensions() -> str:
+    from .experiments.extensions import (
+        render_routing_comparison,
+        render_unidirectional,
+        run_centralized_comparison,
+        run_pathvector_comparison,
+        run_unidirectional,
+    )
+
+    return "\n\n".join(
+        [
+            render_routing_comparison(
+                "BGP-style routing (valley-free), downward failure",
+                run_pathvector_comparison(),
+            ),
+            render_routing_comparison(
+                "Centralized (SDN-style) routing, downward failure",
+                run_centralized_comparison(),
+            ),
+            render_unidirectional(
+                [run_unidirectional("bfd"), run_unidirectional("interface")]
+            ),
+        ]
+    )
+
+
+def _aspen() -> str:
+    from .experiments.aspen import render_aspen_comparison, run_aspen_comparison
+
+    return render_aspen_comparison(run_aspen_comparison())
+
+
+def _congestion() -> str:
+    from .experiments.congestion import render_congestion, run_congestion_sweep
+
+    return render_congestion(run_congestion_sweep())
+
+
+def _configs() -> str:
+    from .core.configgen import render_fabric_configs
+    from .core.f2tree import f2tree
+    from .topology.addressing import assign_addresses
+
+    topo = f2tree(6)
+    assign_addresses(topo)
+    configs = render_fabric_configs(topo)
+    sample = ["# one config per switch; sample below", ""]
+    for name in list(configs)[:1]:
+        sample.append(configs[name])
+    sample.append(f"\n# ({len(configs)} switch configs total)")
+    return "\n".join(sample)
+
+
+def _census() -> str:
+    from .analysis.census import exhaustive_condition_census, render_census
+    from .core.f2tree import f2tree
+    from .topology.graph import NodeKind
+
+    topo = f2tree(8)
+    tor = topo.pod_members(NodeKind.TOR, 0)[-1].name
+    return render_census(
+        [exhaustive_condition_census(topo, tor, k) for k in (1, 2, 3, 4)]
+    )
+
+
+def _validate() -> str:
+    from .core.f2tree import f2tree
+    from .core.validation import render_findings, validate_deployment
+    from .experiments.common import build_bundle
+
+    topo = f2tree(8)
+    bundle = build_bundle(topo)
+    return render_findings(validate_deployment(topo, bundle.network))
+
+
+def _bisection() -> str:
+    from .analysis.bisection import bisection_report
+    from .core.f2tree import f2tree
+    from .topology.fattree import fat_tree
+
+    return bisection_report([fat_tree(4), fat_tree(8), f2tree(6), f2tree(8)])
+
+
+ARTIFACTS: Dict[str, tuple] = {
+    "table1": (_table1, "Table I: scalability comparison"),
+    "table2": (_table2, "Table II: routing table with backup routes"),
+    "table3": (_table3, "Table III / Fig 2: testbed recovery"),
+    "fig4": (_fig4, "Fig 4: conditions C1-C7"),
+    "fig5": (_fig5, "Fig 5: end-to-end delay profiles"),
+    "fig6": (_fig6, "Fig 6: partition-aggregate deadline misses"),
+    "fig7": (_fig7, "Fig 7: Leaf-Spine and VL2 adaptations"),
+    "ablations": (_ablations, "Design-choice ablations"),
+    "extensions": (_extensions, "§V extensions: BGP / SDN / unidirectional"),
+    "aspen": (_aspen, "Aspen-tree baseline comparison (§VI)"),
+    "congestion": (_congestion, "Backup-path congestion probe"),
+    "configs": (_configs, "Quagga-style switch configurations"),
+    "bisection": (_bisection, "Bisection-bandwidth report"),
+    "census": (_census, "Exhaustive §II-C failure-condition census"),
+    "validate": (_validate, "Pre-deployment fabric validation"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the F2Tree paper (ICDCS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available artifacts")
+    run = sub.add_parser("run", help="regenerate artifacts")
+    run.add_argument(
+        "artifacts", nargs="+",
+        help="artifact names (see 'list'), or 'all'",
+    )
+    run.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write each artifact to <out>/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_fn, description) in ARTIFACTS.items():
+            print(f"{name:<12} {description}")
+        return 0
+
+    wanted: List[str] = list(args.artifacts)
+    if wanted == ["all"]:
+        wanted = list(ARTIFACTS)
+    unknown = [name for name in wanted if name not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+
+    for name in wanted:
+        fn, description = ARTIFACTS[name]
+        started = time.monotonic()
+        text = fn()
+        elapsed = time.monotonic() - started
+        print(f"=== {name}: {description} ({elapsed:.1f}s) ===")
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0

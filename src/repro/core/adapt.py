@@ -1,0 +1,43 @@
+"""F²Tree for other multi-rooted topologies (§V, Fig 7).
+
+The scheme — ring the layer that lacks downward redundancy, configure the
+two backup static routes — carries over directly:
+
+* **Leaf-Spine** (Fig 7(a)): a spine's downward link toward a leaf has no
+  backup; we ring the spine layer.
+* **VL2** (Fig 7(b)): the dense agg↔intermediate mesh already protects
+  intermediate→agg downward links, but each agg reaches a given ToR over
+  exactly one link; we ring the aggregation layer.
+
+The builders below add the across links to a freshly built topology (the
+paper omits the per-switch port bookkeeping for these variants; we assume
+the reserved ports exist, having demonstrated exact port-neutral rewiring
+on the fat tree).  Backup routes are configured at network setup via
+:func:`repro.core.backup_routes.configure_backup_routes`, which discovers
+rings of any switch kind.
+"""
+
+from __future__ import annotations
+
+from ..topology.graph import NodeKind, Topology
+from ..topology.leafspine import leaf_spine
+from ..topology.vl2 import vl2
+from .f2tree import _add_ring
+
+
+def f2_leaf_spine(n_leaf: int, n_spine: int, hosts_per_leaf: int = 2) -> Topology:
+    """Leaf-Spine with the spine layer ringed (F²Tree for Leaf-Spine)."""
+    topo = leaf_spine(n_leaf, n_spine, hosts_per_leaf)
+    topo.name = f"f2-{topo.name}"
+    topo.params["family"] = "f2-leaf-spine"
+    _add_ring(topo, topo.pod_members(NodeKind.SPINE, 0), [1])
+    return topo
+
+
+def f2_vl2(d_a: int, d_i: int, hosts_per_tor: int = 2) -> Topology:
+    """VL2 with the aggregation layer ringed (F²Tree for VL2)."""
+    topo = vl2(d_a, d_i, hosts_per_tor)
+    topo.name = f"f2-{topo.name}"
+    topo.params["family"] = "f2-vl2"
+    _add_ring(topo, topo.pod_members(NodeKind.AGG, 0), [1])
+    return topo

@@ -1,0 +1,118 @@
+"""Switch configuration generation (Quagga/FRR-style).
+
+The paper's §III prototype "configured backup routes in Quagga for each
+aggregation and core switch"; deployability — config-only change, no
+software — is the whole pitch.  This module renders, per switch, the
+configuration a production deployment would push:
+
+* hostname and the bundled L3 interface (the §II-B convention: all ports
+  in one interface, one IP);
+* an ``router ospf`` stanza: network statement for the interface address,
+  ``redistribute connected`` on ToRs (the rack subnet), and the SPF
+  throttle timers the simulator models;
+* for F²Tree ring switches, the two (or more) ``ip route`` backup statics
+  — the complete F²Tree change.
+
+Rendering is pure string generation from the topology + address plan, so
+tests can assert the exact artifact operators would review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dataplane.params import NetworkParams
+from ..net.ip import Prefix
+from ..topology.graph import Node, NodeKind, Topology, TopologyError
+from .backup_routes import backup_routes_for
+
+
+@dataclass(frozen=True)
+class ConfigOptions:
+    """Rendering knobs."""
+
+    ospf_process: int = 1
+    #: area for all network statements (DCNs use a single area)
+    area: str = "0.0.0.0"
+    include_spf_throttle: bool = True
+
+
+def _spf_throttle_line(params: NetworkParams) -> str:
+    delay = params.spf_initial_delay // 1_000_000
+    hold = params.spf_hold // 1_000_000
+    hold_max = params.spf_hold_max // 1_000_000
+    return f" timers throttle spf {delay} {hold} {hold_max}"
+
+
+def render_switch_config(
+    topo: Topology,
+    switch: str,
+    params: Optional[NetworkParams] = None,
+    options: Optional[ConfigOptions] = None,
+) -> str:
+    """The complete configuration file for one switch."""
+    params = params or NetworkParams()
+    options = options or ConfigOptions()
+    node = topo.node(switch)
+    if node.kind is NodeKind.HOST:
+        raise TopologyError(f"{switch} is a host; hosts have no switch config")
+    if node.ip is None:
+        raise TopologyError(f"{switch} has no address; run assign_addresses")
+
+    lines: List[str] = [
+        "!",
+        f"hostname {switch}",
+        "!",
+        "interface bundle0",
+        f" description all ports bundled (layer-3, {topo.degree(switch)} members)",
+        f" ip address {node.ip}/32",
+        "!",
+    ]
+
+    backups = backup_routes_for(topo, switch)
+    if backups:
+        lines.append("! F2Tree backup routes: shorter prefixes than any OSPF")
+        lines.append("! route; used only when every longer match is dead")
+        for route in backups:
+            lines.append(f"ip route {route.prefix} {route.next_hop}")
+        lines.append("!")
+
+    lines.append(f"router ospf {options.ospf_process}")
+    lines.append(f" network {node.ip}/32 area {options.area}")
+    if node.subnet is not None:
+        lines.append(" redistribute connected")
+        lines.append(f" ! rack subnet {node.subnet}")
+    if options.include_spf_throttle:
+        lines.append(_spf_throttle_line(params))
+    lines.append("!")
+    return "\n".join(lines)
+
+
+def render_fabric_configs(
+    topo: Topology,
+    params: Optional[NetworkParams] = None,
+    options: Optional[ConfigOptions] = None,
+) -> Dict[str, str]:
+    """Configuration files for every switch of a fabric."""
+    return {
+        node.name: render_switch_config(topo, node.name, params, options)
+        for node in topo.switches()
+    }
+
+
+def config_diff(before: Dict[str, str], after: Dict[str, str]) -> Dict[str, List[str]]:
+    """Per-switch added lines between two fabric configurations.
+
+    The F²Tree deployment review artifact: diffing a fat tree's configs
+    against the rewired fabric's shows *only* the static backup routes
+    (plus hostname/interface churn for renamed gear), demonstrating the
+    "no software, no protocol changes" claim line by line.
+    """
+    added: Dict[str, List[str]] = {}
+    for name, text in after.items():
+        old_lines = set(before.get(name, "").splitlines())
+        new_lines = [l for l in text.splitlines() if l not in old_lines]
+        if new_lines:
+            added[name] = new_lines
+    return added

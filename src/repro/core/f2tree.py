@@ -1,0 +1,274 @@
+"""F²Tree topology construction (§II-B) — the paper's primary contribution.
+
+Two entry points:
+
+* :func:`f2tree` — the general ``N``-port, 3-layer F²Tree.  Each
+  aggregation and core switch reserves two ports (one up, one down) for
+  *across links* joining it to its pod neighbors, so the switches of every
+  pod form a ring.  Working out the port arithmetic (with ``r`` reserved
+  ports):
+
+  - an agg has ``(N-r)/2`` downward and ``(N-r)/2`` upward ports, so a pod
+    holds ``(N-r)/2`` ToRs and (from the ToRs' ``N/2`` uplinks) ``N/2``
+    aggs;
+  - a core has ``N-r`` pod-facing ports, so there are ``N-r`` pods, and
+    core *group* ``i`` (the cores attached to agg ``i`` of every pod, a pod
+    of the core layer by the paper's definition) has ``(N-r)/2`` members;
+  - hosts: ``(N-r) * (N-r)/2 * N/2 = N(N-r)^2/4`` — with ``r = 2`` exactly
+    Table I's ``N^3/4 - N^2 + N``.
+
+* :func:`rewire_fat_tree_prototype` — the paper's *testbed* construction
+  (Fig 1(b)): start from the standard 4-port fat tree and apply the
+  literal rewiring, returning both the new topology and the
+  :class:`RewiringPlan` (which links were unplugged and which were added —
+  the operator's work order).  Each pod's two aggs give up one uplink and
+  their downlink to one ToR (which becomes unsupported) and get a double
+  across link; each core gives up two pod links and gets a double across
+  link to its group partner.
+
+``across_ports=4`` builds the §II-C extension: rings additionally link
+neighbors at distance 2, tolerating the condition-4 pattern that defeats
+the 2-port design (exercised by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..topology.fattree import fat_tree
+from ..topology.graph import Link, LinkKind, Node, NodeKind, Topology, TopologyError
+
+
+@dataclass
+class RewiringPlan:
+    """The physical work order produced by a rewiring.
+
+    ``removed``/``added`` are endpoint pairs; ``unsupported_tors`` lists
+    ToRs whose uplinks were all consumed (their racks are the "nodes
+    supported" cost in Table I).
+    """
+
+    removed: List[Tuple[str, str]] = field(default_factory=list)
+    added: List[Tuple[str, str]] = field(default_factory=list)
+    unsupported_tors: List[str] = field(default_factory=list)
+
+    @property
+    def links_touched(self) -> int:
+        return len(self.removed) + len(self.added)
+
+    def rewired_links_of(self, switch: str) -> int:
+        """How many of this switch's links the plan touches (paper: 2)."""
+        removed = sum(1 for a, b in self.removed if switch in (a, b))
+        added = sum(1 for a, b in self.added if switch in (a, b))
+        return max(removed, added)
+
+
+def _ring_distances(across_ports: int) -> List[int]:
+    if across_ports < 2 or across_ports % 2:
+        raise TopologyError(
+            f"across_ports must be a positive even number, got {across_ports}"
+        )
+    return list(range(1, across_ports // 2 + 1))
+
+
+def _add_ring(topo: Topology, members: List[Node], distances: List[int]) -> None:
+    """Link ring ``members`` (in position order) at the given distances.
+
+    A ring of two at distance 1 yields the paper's *double* across link
+    (Fig 1(b): "two links between S16 and S15 to form a ring").  Distance
+    ``d`` links are skipped when the ring is too small for them to be
+    distinct from the shorter-distance links (e.g. distance 2 in a ring of
+    3 coincides with distance 1).
+    """
+    n = len(members)
+    if n < 2:
+        raise TopologyError("an across ring needs at least 2 members")
+    for d in distances:
+        if d > 1 and n <= 2 * (d - 1) + 1:
+            continue  # coincides with a shorter distance: no distinct link
+        if n == 2 and d == 1:
+            # double link between the pair
+            topo.add_link(members[0].name, members[1].name, LinkKind.ACROSS)
+            topo.add_link(members[0].name, members[1].name, LinkKind.ACROSS)
+            continue
+        if n == 2 * d:
+            # distance d connects opposite members: one link per pair
+            for i in range(d):
+                topo.add_link(
+                    members[i].name, members[(i + d) % n].name, LinkKind.ACROSS
+                )
+            continue
+        for i in range(n):
+            topo.add_link(members[i].name, members[(i + d) % n].name, LinkKind.ACROSS)
+
+
+def f2tree(
+    ports: int,
+    hosts_per_tor: Optional[int] = None,
+    across_ports: int = 2,
+) -> Topology:
+    """Build an ``N``-port, 3-layer F²Tree directly.
+
+    Node naming matches :func:`repro.topology.fattree.fat_tree`
+    (``tor-<pod>-<t>``, ``agg-<pod>-<a>``, ``core-<group>-<c>``).
+    """
+    distances = _ring_distances(across_ports)
+    r = across_ports
+    if ports % 2 or ports - r < 2 or (ports - r) % 2:
+        raise TopologyError(
+            f"f2tree needs even ports with ports - across_ports >= 2, "
+            f"got ports={ports}, across_ports={r}"
+        )
+    half = ports // 2
+    pods = ports - r
+    tors_per_pod = (ports - r) // 2
+    cores_per_group = (ports - r) // 2
+    if tors_per_pod < 1:
+        raise TopologyError(f"{ports}-port f2tree supports no ToRs")
+    if half < 2 or cores_per_group < 2:
+        raise TopologyError(
+            f"{ports}-port f2tree cannot form across rings "
+            f"(agg ring {half}, core ring {cores_per_group}); "
+            f"use rewire_fat_tree_prototype for the 4-port testbed"
+        )
+    if hosts_per_tor is None:
+        hosts_per_tor = half
+    if hosts_per_tor > half:
+        raise TopologyError(
+            f"{hosts_per_tor} hosts per ToR exceed the {half} free ports"
+        )
+
+    topo = Topology(
+        f"f2tree-{ports}" + (f"-x{r}" if r != 2 else ""),
+        params={
+            "ports": ports,
+            "hosts_per_tor": hosts_per_tor,
+            "across_ports": r,
+            "family": "f2tree",
+        },
+    )
+
+    for pod in range(pods):
+        for t in range(tors_per_pod):
+            topo.add_node(Node(f"tor-{pod}-{t}", NodeKind.TOR, pod=pod, position=t))
+        for a in range(half):
+            topo.add_node(Node(f"agg-{pod}-{a}", NodeKind.AGG, pod=pod, position=a))
+        for t in range(tors_per_pod):
+            for h in range(hosts_per_tor):
+                host = topo.add_node(
+                    Node(f"host-{pod}-{t}-{h}", NodeKind.HOST, pod=pod, position=h)
+                )
+                topo.add_link(host.name, f"tor-{pod}-{t}", LinkKind.HOST)
+        for t in range(tors_per_pod):
+            for a in range(half):
+                topo.add_link(f"tor-{pod}-{t}", f"agg-{pod}-{a}", LinkKind.TOR_AGG)
+        _add_ring(topo, topo.pod_members(NodeKind.AGG, pod), distances)
+
+    for group in range(half):
+        for c in range(cores_per_group):
+            topo.add_node(
+                Node(f"core-{group}-{c}", NodeKind.CORE, pod=group, position=c)
+            )
+        for c in range(cores_per_group):
+            core = f"core-{group}-{c}"
+            for pod in range(pods):
+                topo.add_link(f"agg-{pod}-{group}", core, LinkKind.AGG_CORE)
+        _add_ring(topo, topo.pod_members(NodeKind.CORE, group), distances)
+
+    # agg/core up+down usage must leave exactly the reserved across ports
+    topo.validate_port_budget(ports, (NodeKind.TOR, NodeKind.AGG, NodeKind.CORE))
+    return topo
+
+
+def rewire_fat_tree_prototype(
+    fat: Optional[Topology] = None,
+) -> Tuple[Topology, RewiringPlan]:
+    """Rewire a 4-port fat tree into the paper's testbed prototype
+    (Fig 1(a) -> Fig 1(b)).
+
+    In every pod, both aggs drop their link to the pod's position-0 ToR
+    (that rack becomes unsupported; its hosts are removed from the
+    topology), each agg drops one core uplink, and the agg pair gets a
+    double across link.  In every core group, each core drops two pod
+    links (complementarily, so every agg keeps exactly one uplink) and the
+    core pair gets a double across link.  Within core group ``g``, the
+    position-0 core keeps the outer pods {0, k-1} and the position-1 core
+    keeps the middle pods — matching the surviving testbed paths
+    (S1-S10-S20-S16-S8 before recovery, S1-S9-S17-S15-S8 after).
+    """
+    if fat is None:
+        fat = fat_tree(4)
+    ports = fat.params.get("ports")
+    if ports != 4 or fat.params.get("family") != "fat-tree":
+        raise TopologyError(
+            "rewire_fat_tree_prototype expects the standard 4-port fat tree"
+        )
+
+    topo = Topology(
+        "f2tree-prototype-4",
+        params={
+            "ports": 4,
+            "hosts_per_tor": fat.params.get("hosts_per_tor", 2),
+            "across_ports": 2,
+            "family": "f2tree-prototype",
+        },
+    )
+    plan = RewiringPlan()
+
+    dropped_nodes: set[str] = set()
+    for pod in range(4):
+        orphan_tor = f"tor-{pod}-0"
+        dropped_nodes.add(orphan_tor)
+        plan.unsupported_tors.append(orphan_tor)
+        for host in fat.host_of_tor(orphan_tor):
+            dropped_nodes.add(host.name)
+
+    for node in fat.nodes.values():
+        if node.name in dropped_nodes:
+            continue
+        topo.add_node(
+            Node(node.name, node.kind, pod=node.pod, position=node.position)
+        )
+
+    # Which pods each core keeps.  In Fig 1(b), S17 (core-0-0) and S20
+    # (core-1-1) keep the outer pods {0, 3} while S18/S19 keep the middle
+    # pods {1, 2}: outer iff group+position is even.
+    def kept_pods(group: int, position: int) -> Tuple[int, int]:
+        return (0, 3) if (group + position) % 2 == 0 else (1, 2)
+
+    for link in fat.links.values():
+        if link.a in dropped_nodes or link.b in dropped_nodes:
+            plan.removed.append((link.a, link.b))
+            continue
+        if link.kind is LinkKind.AGG_CORE:
+            agg, core = (
+                (link.a, link.b) if link.a.startswith("agg") else (link.b, link.a)
+            )
+            agg_pod = fat.node(agg).pod
+            core_node = fat.node(core)
+            assert agg_pod is not None
+            assert core_node.pod is not None and core_node.position is not None
+            if agg_pod not in kept_pods(core_node.pod, core_node.position):
+                plan.removed.append((link.a, link.b))
+                continue
+        topo.add_link(link.a, link.b, link.kind)
+
+    for pod in range(4):
+        aggs = topo.pod_members(NodeKind.AGG, pod)
+        _add_ring(topo, aggs, [1])
+        plan.added.append((aggs[0].name, aggs[1].name))
+        plan.added.append((aggs[0].name, aggs[1].name))
+    for group in range(2):
+        cores = topo.pod_members(NodeKind.CORE, group)
+        _add_ring(topo, cores, [1])
+        plan.added.append((cores[0].name, cores[1].name))
+        plan.added.append((cores[0].name, cores[1].name))
+
+    topo.validate_port_budget(4, (NodeKind.TOR, NodeKind.AGG, NodeKind.CORE))
+    return topo, plan
+
+
+def across_links(topo: Topology) -> List[Link]:
+    """All across (ring) links of an F²Tree-style topology."""
+    return [l for l in topo.links.values() if l.kind is LinkKind.ACROSS]

@@ -1,0 +1,156 @@
+"""Table I: scalability and deployment comparison.
+
+Closed-form switch/node counts for 3-layer DCNs built from homogeneous
+``N``-port switches, for every row of the paper's Table I, plus the
+immediate-backup-link counts of §II-A/§II-B.  The builders in
+:mod:`repro.topology` and :mod:`repro.core.f2tree` are validated against
+these formulas in the test suite — the formulas and the constructions are
+independent implementations that must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    """One row of Table I."""
+
+    solution: str
+    switches: Optional[int]
+    nodes: Optional[int]
+    modifies_routing_protocol: Optional[bool]
+    modifies_data_plane: Optional[bool]
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.solution,
+            self.switches,
+            self.nodes,
+            self.modifies_routing_protocol,
+            self.modifies_data_plane,
+        )
+
+
+def _exact(value: Fraction, what: str) -> int:
+    if value.denominator != 1:
+        raise ValueError(f"{what} = {value} is not an integer; invalid N")
+    return int(value)
+
+
+def fat_tree_row(ports: int) -> ScalabilityRow:
+    n = Fraction(ports)
+    return ScalabilityRow(
+        "fat-tree",
+        _exact(5 * n * n / 4, "switches"),
+        _exact(n ** 3 / 4, "nodes"),
+        None,
+        None,
+    )
+
+
+def vl2_row(ports: int) -> ScalabilityRow:
+    """The paper's VL2 accounting (5N/2 switches, N^2/2 nodes)."""
+    n = Fraction(ports)
+    return ScalabilityRow(
+        "vl2",
+        _exact(5 * n / 2, "switches"),
+        _exact(n * n / 2, "nodes"),
+        None,
+        None,
+    )
+
+
+def f2tree_row(ports: int) -> ScalabilityRow:
+    n = Fraction(ports)
+    return ScalabilityRow(
+        "f2tree",
+        _exact(5 * n * n / 4 - 7 * n / 2 + 2, "switches"),
+        _exact(n ** 3 / 4 - n * n + n, "nodes"),
+        False,
+        False,
+    )
+
+
+def aspen_row(ports: int, fault_tolerance: int) -> ScalabilityRow:
+    if fault_tolerance < 1:
+        raise ValueError("Table I's Aspen row requires f >= 1")
+    n = Fraction(ports)
+    f1 = Fraction(fault_tolerance + 1)
+    return ScalabilityRow(
+        f"aspen<f={fault_tolerance},0>",
+        _exact(5 * n * n / (4 * f1), "switches"),
+        _exact(n ** 3 / (4 * f1), "nodes"),
+        True,
+        False,
+    )
+
+
+def f10_row(ports: int) -> ScalabilityRow:
+    n = Fraction(ports)
+    return ScalabilityRow(
+        "f10",
+        _exact(5 * n * n / 4, "switches"),
+        _exact(n ** 3 / 4, "nodes"),
+        True,
+        True,
+    )
+
+
+def ddc_row() -> ScalabilityRow:
+    return ScalabilityRow("ddc", None, None, True, True)
+
+
+def table_one(ports: int, aspen_fault_tolerance: int = 1) -> List[ScalabilityRow]:
+    """All rows of Table I for ``ports``-port switches."""
+    return [
+        fat_tree_row(ports),
+        vl2_row(ports),
+        f2tree_row(ports),
+        aspen_row(ports, aspen_fault_tolerance),
+        f10_row(ports),
+        ddc_row(),
+    ]
+
+
+def node_reduction_vs_fat_tree(ports: int) -> float:
+    """Fractional loss of supported nodes, F²Tree vs fat tree (§II-D).
+
+    ``(N^2 - N) / (N^3/4) = 4(N-1)/N^2`` — about 3 % at N = 128 (the paper
+    rounds this to "about 2 %"); vanishes as the network scales.
+    """
+    return 4 * (ports - 1) / (ports * ports)
+
+
+def immediate_backup_links(ports: int, solution: str) -> Dict[str, int]:
+    """Immediate backup links per upward / downward link (§II-A, §II-B)."""
+    half = ports // 2
+    if solution == "fat-tree":
+        return {"upward": half - 1, "downward": 0}
+    if solution == "f2tree":
+        # N/2 - 2 remaining ECMP uplinks + 2 across, and the 2 across down
+        return {"upward": half, "downward": 2}
+    raise ValueError(f"no backup-link accounting for {solution!r}")
+
+
+def render_table_one(ports: int, aspen_fault_tolerance: int = 1) -> str:
+    """ASCII rendering of Table I for a given port count."""
+    rows = table_one(ports, aspen_fault_tolerance)
+    fmt_bool = {True: "yes", False: "no", None: "n/a"}
+    lines = [
+        f"Table I @ N={ports}:",
+        f"{'solution':<16} {'switches':>10} {'nodes':>10} "
+        f"{'mod-routing':>12} {'mod-dataplane':>14}",
+    ]
+    for row in rows:
+        switches = "n/a" if row.switches is None else str(row.switches)
+        nodes = "n/a" if row.nodes is None else str(row.nodes)
+        lines.append(
+            f"{row.solution:<16} {switches:>10} {nodes:>10} "
+            f"{fmt_bool[row.modifies_routing_protocol]:>12} "
+            f"{fmt_bool[row.modifies_data_plane]:>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Pre-deployment validation of an F²Tree fabric.
+
+An operator about to rewire a production DCN wants machine-checked
+answers to "did we wire and configure this correctly?" before cutover.
+:func:`validate_deployment` audits a topology + configured network against
+every structural invariant the design depends on:
+
+* every aggregation/core switch sits in a complete across ring
+  (positions consecutive, wrap-around closed, no gaps);
+* port budgets are respected;
+* every ring switch carries its backup static routes, with prefixes that
+  (a) nest correctly, (b) cover every host subnet, (c) are strictly
+  shorter than any prefix the routing protocol can install, and (d) avoid
+  covering switch loopbacks;
+* the preference order is rightward-first (the §II-B loop-avoidance rule);
+* the address plan is consistent (hosts inside their rack subnet, all
+  addresses unique).
+
+Each violated invariant yields a :class:`Finding` with severity and a
+human-actionable message; an empty list means "safe to deploy".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dataplane.network import Network
+from ..net.fib import FibEntry
+from ..net.ip import Prefix
+from ..topology.graph import LinkKind, NodeKind, Topology
+from .backup_routes import RING_KINDS, ring_neighbors_of
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # fast reroute will not work
+    WARNING = "warning"  # suspicious but survivable
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: Severity
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.subject}: {self.message}"
+
+
+def _check_rings(topo: Topology, findings: List[Finding]) -> None:
+    for kind in (NodeKind.AGG, NodeKind.CORE, NodeKind.SPINE, NodeKind.INTERMEDIATE):
+        for pod in topo.pods_of_kind(kind):
+            members = topo.pod_members(kind, pod)
+            with_across = [
+                m for m in members
+                if any(l.kind is LinkKind.ACROSS for l in topo.links_of(m.name))
+            ]
+            if not with_across:
+                continue  # this layer is not ringed (e.g. plain fat tree)
+            if len(with_across) != len(members):
+                missing = {m.name for m in members} - {m.name for m in with_across}
+                findings.append(
+                    Finding(
+                        Severity.ERROR, f"{kind.value} pod {pod}",
+                        f"ring is incomplete: {sorted(missing)} have no across links",
+                    )
+                )
+                continue
+            size = len(members)
+            for index, member in enumerate(members):
+                right = members[(index + 1) % size]
+                across = [
+                    l
+                    for l in topo.links_between(member.name, right.name)
+                    if l.kind is LinkKind.ACROSS
+                ]
+                expected = 2 if size == 2 and index == 0 else (0 if size == 2 else 1)
+                if size == 2 and index == 1:
+                    continue  # the pair was checked from index 0
+                if len(across) != expected:
+                    findings.append(
+                        Finding(
+                            Severity.ERROR, member.name,
+                            f"expected {expected} across link(s) to ring "
+                            f"neighbor {right.name}, found {len(across)}",
+                        )
+                    )
+
+
+def _check_ports(topo: Topology, findings: List[Finding]) -> None:
+    ports = topo.params.get("ports")
+    if ports is None:
+        return
+    for switch in topo.switches():
+        degree = topo.degree(switch.name)
+        if degree > ports:
+            findings.append(
+                Finding(
+                    Severity.ERROR, switch.name,
+                    f"uses {degree} ports but switches have {ports}",
+                )
+            )
+
+
+def _check_addressing(topo: Topology, findings: List[Finding]) -> None:
+    seen: Dict[int, str] = {}
+    for node in topo.nodes.values():
+        if node.ip is None:
+            findings.append(
+                Finding(Severity.ERROR, node.name, "no address assigned")
+            )
+            continue
+        other = seen.get(node.ip.value)
+        if other is not None:
+            findings.append(
+                Finding(
+                    Severity.ERROR, node.name,
+                    f"address {node.ip} collides with {other}",
+                )
+            )
+        seen[node.ip.value] = node.name
+    for tor in topo.nodes_of_kind(NodeKind.TOR, NodeKind.LEAF):
+        if tor.subnet is None:
+            findings.append(
+                Finding(Severity.ERROR, tor.name, "rack has no subnet")
+            )
+            continue
+        for host in topo.host_of_tor(tor.name):
+            if host.ip is not None and host.ip not in tor.subnet:
+                findings.append(
+                    Finding(
+                        Severity.ERROR, host.name,
+                        f"address {host.ip} outside rack subnet {tor.subnet}",
+                    )
+                )
+
+
+def _check_backup_routes(
+    topo: Topology, network: Network, findings: List[Finding]
+) -> None:
+    rack_subnets = [
+        t.subnet for t in topo.nodes_of_kind(NodeKind.TOR, NodeKind.LEAF)
+        if t.subnet is not None
+    ]
+    loopbacks = [
+        s.ip for s in topo.switches()
+        if s.ip is not None and s.kind not in (NodeKind.TOR, NodeKind.LEAF)
+    ]
+    for spec in topo.switches():
+        neighbors = ring_neighbors_of(topo, spec.name)
+        if neighbors is None:
+            continue
+        switch = network.switch(spec.name)
+        statics: List[FibEntry] = sorted(
+            (e for e in switch.fib.entries() if e.source == "static"),
+            key=lambda e: -e.prefix.length,
+        )
+        if not statics:
+            findings.append(
+                Finding(
+                    Severity.ERROR, spec.name,
+                    "ring switch has no backup static routes configured",
+                )
+            )
+            continue
+        expected = len(neighbors.ordered)
+        if len(statics) != expected:
+            findings.append(
+                Finding(
+                    Severity.ERROR, spec.name,
+                    f"{len(statics)} backup route(s) for {expected} across "
+                    f"neighbor(s)",
+                )
+            )
+        # preference order must follow the rightward-first neighbor order
+        for entry, neighbor in zip(statics, neighbors.ordered):
+            if entry.next_hops != (neighbor,):
+                findings.append(
+                    Finding(
+                        Severity.ERROR, spec.name,
+                        f"backup {entry.prefix} points at "
+                        f"{entry.next_hops}, expected ({neighbor},)",
+                    )
+                )
+        # nesting: each shorter prefix must cover the longer one
+        for longer, shorter in zip(statics, statics[1:]):
+            if shorter.prefix.length >= longer.prefix.length:
+                findings.append(
+                    Finding(
+                        Severity.ERROR, spec.name,
+                        f"backup prefixes not strictly shortening: "
+                        f"{longer.prefix} then {shorter.prefix}",
+                    )
+                )
+            if not shorter.prefix.contains(longer.prefix):
+                findings.append(
+                    Finding(
+                        Severity.ERROR, spec.name,
+                        f"backup {shorter.prefix} does not cover "
+                        f"{longer.prefix}",
+                    )
+                )
+        primary = statics[0].prefix
+        for subnet in rack_subnets:
+            if not primary.contains(subnet):
+                findings.append(
+                    Finding(
+                        Severity.ERROR, spec.name,
+                        f"backup {primary} misses rack subnet {subnet}",
+                    )
+                )
+            if subnet.length <= primary.length:
+                findings.append(
+                    Finding(
+                        Severity.ERROR, spec.name,
+                        f"rack subnet {subnet} not longer than backup "
+                        f"{primary}: the protocol route would lose",
+                    )
+                )
+        for loopback in loopbacks:
+            for entry in statics:
+                if loopback in entry.prefix:
+                    findings.append(
+                        Finding(
+                            Severity.WARNING, spec.name,
+                            f"backup {entry.prefix} also covers switch "
+                            f"loopback {loopback}",
+                        )
+                    )
+                    break
+
+
+def validate_deployment(topo: Topology, network: Network) -> List[Finding]:
+    """Run every check; empty result means the fabric is deploy-ready."""
+    findings: List[Finding] = []
+    _check_rings(topo, findings)
+    _check_ports(topo, findings)
+    _check_addressing(topo, findings)
+    _check_backup_routes(topo, network, findings)
+    return findings
+
+
+def render_findings(findings: List[Finding]) -> str:
+    if not findings:
+        return "deployment validation: PASS (no findings)"
+    lines = [f"deployment validation: {len(findings)} finding(s)"]
+    lines.extend(f"  {finding}" for finding in findings)
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Runtime nodes: L3 switches and end hosts.
+
+**Switches** implement the forwarding behaviour the whole paper rests on
+(§II-A/§II-B): an incoming packet is looked up in the FIB, matches are
+walked from the longest prefix down, and at each match the next hops whose
+adjacency is *locally detected dead* are pruned.  The first match with a
+surviving next hop wins; ECMP hashing picks among survivors.  This single
+mechanism produces:
+
+* normal shortest-path forwarding,
+* ECMP's immediate protection of upward links (prune one of N/2-1 equals),
+* F²Tree's fast reroute (fall through to the /16 and then /15 static
+  backups when every longer match is dead), and
+* the condition-4 ping-pong (§II-C): two adjacent switches bouncing a
+  packet over their ring until TTL expiry — fidelity we rely on for C7.
+
+**Hosts** are deliberately thin: one uplink to their ToR (which is also
+their default route), a protocol/port demux for the transport layer, and a
+receive tap for the metrics collectors.
+
+Per the production convention in §II-B, a switch bundles all ports into one
+L3 interface with a single IP, so next hops are *neighbor switches*, not
+interfaces; with parallel links (Aspen) the neighbor is alive while any of
+the parallel links is detected up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Protocol, TYPE_CHECKING
+
+from ..net.ecmp import fnv1a_64, select_next_hop
+from ..net.fib import Fib, FibEntry, LOCAL
+from ..net.ip import IPv4Address
+from ..net.packet import PROTO_ROUTING, Packet
+from ..sim.engine import Simulator
+from .link import RuntimeLink
+from .params import NetworkParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.graph import Node as NodeSpec
+
+
+class RoutingAgent(Protocol):
+    """What a switch expects from its control-plane resident."""
+
+    def on_neighbor_change(self, peer: str, up: bool) -> None:
+        """Called when the switch's detection declares a neighbor up/down."""
+
+    def on_control_packet(self, packet: Packet, sender: str) -> None:
+        """Called for packets addressed to this switch with PROTO_ROUTING."""
+
+
+#: handler(packet, local_node) for transport demultiplexing
+PacketHandler = Callable[[Packet, "NetworkNode"], None]
+
+
+class NetworkNode:
+    """Common behaviour of switches and hosts."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams, spec: "NodeSpec") -> None:
+        if spec.ip is None:
+            raise ValueError(f"node {spec.name} has no address; assign_addresses first")
+        self.sim = sim
+        self.params = params
+        self.spec = spec
+        self.name = spec.name
+        self.ip: IPv4Address = spec.ip
+        self.links: List[RuntimeLink] = []
+        self.links_by_peer: Dict[str, List[RuntimeLink]] = {}
+        self.drops: Counter = Counter()
+        #: handlers keyed by (protocol, local port); port 0 = any port
+        self._handlers: Dict[tuple, PacketHandler] = {}
+        #: taps invoked for every locally-delivered packet
+        self.receive_taps: List[PacketHandler] = []
+
+    # ------------------------------------------------------------- plumbing
+
+    def attach_link(self, link: RuntimeLink) -> None:
+        peer = link.other(self.name).name
+        self.links.append(link)
+        self.links_by_peer.setdefault(peer, []).append(link)
+
+    def live_links_to(self, peer: str) -> List[RuntimeLink]:
+        """Links to ``peer`` this node currently believes are up."""
+        return [
+            link
+            for link in self.links_by_peer.get(peer, ())
+            if link.detected_up_by(self.name)
+        ]
+
+    def neighbor_alive(self, peer: str) -> bool:
+        """True while at least one link to ``peer`` is detected up."""
+        return bool(self.live_links_to(peer))
+
+    def register_handler(self, protocol: int, port: int, handler: PacketHandler) -> None:
+        """Register a transport handler; ``port=0`` catches every port."""
+        key = (protocol, port)
+        if key in self._handlers:
+            raise ValueError(f"{self.name}: handler already bound for {key}")
+        self._handlers[key] = handler
+
+    def unregister_handler(self, protocol: int, port: int) -> None:
+        self._handlers.pop((protocol, port), None)
+
+    def port_in_use(self, protocol: int, port: int) -> bool:
+        """Whether a handler is bound to (protocol, port)."""
+        return (protocol, port) in self._handlers
+
+    # ------------------------------------------------------------- receive
+
+    def receive(self, packet: Packet, sender: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def deliver_local(self, packet: Packet, sender: str) -> None:
+        """Hand a packet addressed to this node to the upper layers."""
+        for tap in self.receive_taps:
+            tap(packet, self)
+        handler = self._handlers.get((packet.protocol, packet.dport))
+        if handler is None:
+            handler = self._handlers.get((packet.protocol, 0))
+        if handler is None:
+            self.drops["no_handler"] += 1
+            return
+        handler(packet, self)
+
+    def on_adjacency_change(self, link: RuntimeLink, up: bool) -> None:
+        """Failure detection callback; overridden by switches."""
+
+
+class SwitchNode(NetworkNode):
+    """An L3 switch: FIB, ECMP, local fast-reroute fall-through."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams, spec: "NodeSpec") -> None:
+        super().__init__(sim, params, spec)
+        self.fib = Fib()
+        self.salt = fnv1a_64(spec.name.encode("utf-8"))
+        self.routing_agent: Optional[RoutingAgent] = None
+        #: directly attached hosts: ip value -> link to the host
+        self.local_hosts: Dict[int, RuntimeLink] = {}
+        #: taps invoked for every *forwarded* packet (path tracing, loops)
+        self.forward_taps: List[Callable[[Packet, str], None]] = []
+
+    # ------------------------------------------------------------- control
+
+    def attach_host(self, host_ip: IPv4Address, link: RuntimeLink) -> None:
+        self.local_hosts[host_ip.value] = link
+
+    def on_adjacency_change(self, link: RuntimeLink, up: bool) -> None:
+        """Detection outcome: tell the routing agent about the peer.
+
+        With parallel links the peer is only reported down when its last
+        live link goes, and up on the first revival.
+        """
+        peer = link.other(self.name).name
+        live = len(self.live_links_to(peer))
+        if self.routing_agent is None:
+            return
+        if not up and live == 0:
+            self.routing_agent.on_neighbor_change(peer, up=False)
+        elif up and live == 1:
+            self.routing_agent.on_neighbor_change(peer, up=True)
+
+    def send_control(self, peer: str, payload: object, size_bytes: int) -> bool:
+        """Send a hop-by-hop control packet to a direct neighbor.
+
+        Control traffic is addressed to the neighbor itself and never
+        FIB-routed; it only crosses links this switch believes are up.
+        """
+        live = self.live_links_to(peer)
+        if not live:
+            return False
+        packet = Packet(
+            src=self.ip,
+            dst=live[0].other(self.name).ip,
+            protocol=PROTO_ROUTING,
+            size_bytes=size_bytes,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        return live[0].channel_from(self.name).enqueue(packet)
+
+    # ------------------------------------------------------------ data path
+
+    def receive(self, packet: Packet, sender: str) -> None:
+        if packet.dst == self.ip:
+            if packet.protocol == PROTO_ROUTING:
+                if self.routing_agent is not None:
+                    self.routing_agent.on_control_packet(packet, sender)
+                return
+            self.deliver_local(packet, sender)
+            return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """FIB fall-through forwarding (see module docstring)."""
+        if packet.ttl <= 1:
+            self.drops["ttl_expired"] += 1
+            return
+        entry, next_hop = self.resolve(packet)
+        if entry is None:
+            self.drops["no_route"] += 1
+            return
+        packet.forwarded()
+        for tap in self.forward_taps:
+            tap(packet, self.name)
+        if next_hop == LOCAL:
+            self._deliver_to_host(packet)
+            return
+        link = self.link_for(next_hop, packet.flow_key)  # live by resolve()
+        link.channel_from(self.name).enqueue(packet)
+
+    def link_for(self, next_hop: str, flow_key: tuple) -> RuntimeLink:
+        """The (possibly parallel) link this flow uses toward ``next_hop``.
+
+        Deterministic per flow — also used by experiments that must fail
+        exactly the member link a flow is hashed onto (Aspen trees).
+        """
+        links = self.live_links_to(next_hop)
+        return select_next_hop(links, flow_key, self.salt ^ 0xA5A5)
+
+    def resolve(self, packet: Packet):
+        """The (entry, next hop) the switch would use for ``packet``.
+
+        Walks FIB matches longest-first, pruning next hops whose adjacency
+        is detected dead; shared by actual forwarding and by offline path
+        tracing.  Returns ``(None, None)`` when no live route exists.
+        """
+        for entry in self.fib.matches(packet.dst):
+            live = [
+                nh
+                for nh in entry.next_hops
+                if nh == LOCAL or self.neighbor_alive(nh)  # type: ignore[arg-type]
+            ]
+            if live:
+                return entry, select_next_hop(live, packet.flow_key, self.salt)
+        return None, None
+
+    def _deliver_to_host(self, packet: Packet) -> None:
+        link = self.local_hosts.get(packet.dst.value)
+        if link is None:
+            self.drops["unknown_host"] += 1
+            return
+        if not link.detected_up_by(self.name):
+            self.drops["host_link_down"] += 1
+            return
+        link.channel_from(self.name).enqueue(packet)
+
+
+class HostNode(NetworkNode):
+    """An end host: one uplink, protocol demux, nothing else."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams, spec: "NodeSpec") -> None:
+        super().__init__(sim, params, spec)
+        self.uplink: Optional[RuntimeLink] = None
+
+    def attach_link(self, link: RuntimeLink) -> None:
+        if self.uplink is not None:
+            raise ValueError(f"host {self.name} is single-homed; second link {link.name}")
+        super().attach_link(link)
+        self.uplink = link
+
+    def send(self, packet: Packet) -> bool:
+        """Send toward the ToR (the host's default gateway)."""
+        if self.uplink is None:
+            raise RuntimeError(f"host {self.name} has no uplink")
+        return self.uplink.channel_from(self.name).enqueue(packet)
+
+    def receive(self, packet: Packet, sender: str) -> None:
+        if packet.dst != self.ip:
+            self.drops["not_mine"] += 1
+            return
+        self.deliver_local(packet, sender)

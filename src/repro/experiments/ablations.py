@@ -1,0 +1,178 @@
+"""Ablations of F²Tree's design choices.
+
+The paper argues for each design decision in prose; these harnesses turn
+the arguments into measurements:
+
+* **SPF-timer sensitivity** (§III discussion): shortening OSPF's initial
+  SPF delay shrinks fat tree's outage — but the outage always tracks the
+  timer, while F²Tree's outage is pinned at the detection delay regardless
+  (and real networks *lengthen* the timer for stability).
+* **Detection-delay sensitivity**: F²Tree's recovery time is exactly the
+  detection delay, so faster BFD directly buys faster recovery.
+* **Prefix-length tie-break** (§II-B): giving both backup routes the same
+  prefix (ECMP pair) lets condition-2 failures bounce packets between
+  adjacent switches; the paper's longer-prefix-rightward rule forwards
+  them around the ring in one direction.
+* **Four across ports** (§II-C): reserving 4 ports per switch survives the
+  condition-4 pattern (C7) that defeats the 2-port design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.f2tree import f2tree
+from ..dataplane.params import NetworkParams
+from ..failures.scenarios import build_scenario
+from ..net.packet import PROTO_UDP
+from ..sim.units import Time, milliseconds, to_milliseconds
+from ..topology.fattree import fat_tree
+from .common import DEFAULT_WARMUP, build_bundle, leftmost_host, rightmost_host
+from .conditions import run_condition
+from .recovery import UDP_PORT, UDP_SPORT, run_recovery
+
+
+@dataclass
+class SpfTimerPoint:
+    """One point of the SPF-timer sweep."""
+
+    spf_initial_delay_ms: float
+    fat_tree_loss_ms: float
+    f2tree_loss_ms: float
+
+
+def run_spf_timer_sweep(
+    delays: Sequence[Time] = (
+        milliseconds(10),
+        milliseconds(50),
+        milliseconds(200),
+        milliseconds(1000),
+    ),
+    ports: int = 8,
+    seed: int = 1,
+) -> List[SpfTimerPoint]:
+    """Single downward failure (C1) under varying SPF initial delays."""
+    points: List[SpfTimerPoint] = []
+    for delay in delays:
+        params = NetworkParams().with_overrides(spf_initial_delay=delay)
+        fat = run_recovery(fat_tree(ports), "udp", params=params, seed=seed)
+        f2 = run_recovery(f2tree(ports), "udp", params=params, seed=seed)
+        assert fat.connectivity_loss is not None
+        assert f2.connectivity_loss is not None
+        points.append(
+            SpfTimerPoint(
+                spf_initial_delay_ms=to_milliseconds(delay),
+                fat_tree_loss_ms=to_milliseconds(fat.connectivity_loss),
+                f2tree_loss_ms=to_milliseconds(f2.connectivity_loss),
+            )
+        )
+    return points
+
+
+@dataclass
+class DetectionDelayPoint:
+    detection_delay_ms: float
+    f2tree_loss_ms: float
+
+
+def run_detection_delay_sweep(
+    delays: Sequence[Time] = (
+        milliseconds(1),
+        milliseconds(10),
+        milliseconds(30),
+        milliseconds(60),
+        milliseconds(120),
+    ),
+    ports: int = 8,
+    seed: int = 1,
+) -> List[DetectionDelayPoint]:
+    """F²Tree recovery time as a function of the BFD-style detection delay."""
+    points: List[DetectionDelayPoint] = []
+    for delay in delays:
+        params = NetworkParams().with_overrides(
+            detection_delay=delay, up_detection_delay=delay
+        )
+        result = run_recovery(f2tree(ports), "udp", params=params, seed=seed)
+        assert result.connectivity_loss is not None
+        points.append(
+            DetectionDelayPoint(
+                detection_delay_ms=to_milliseconds(delay),
+                f2tree_loss_ms=to_milliseconds(result.connectivity_loss),
+            )
+        )
+    return points
+
+
+@dataclass
+class TieBreakOutcome:
+    """Loop census during fast rerouting under condition 2 (C4)."""
+
+    tie_break: str
+    flows_traced: int
+    flows_looping: int
+    flows_delivered: int
+
+
+def count_c4_loops(
+    tie_break: str, ports: int = 8, n_flows: int = 64, seed: int = 1
+) -> TieBreakOutcome:
+    """Trace many flows mid-fast-reroute under C4 and count loops.
+
+    Uses offline path tracing inside the fast-reroute window (after
+    detection, before the control plane's FIB update), so the outcome is a
+    pure function of the forwarding design being ablated.
+    """
+    topology = f2tree(ports)
+    bundle = build_bundle(topology, seed=seed, backup_tie_break=tie_break)
+    bundle.converge(DEFAULT_WARMUP)
+    src, dst = leftmost_host(topology), rightmost_host(topology)
+    path, complete = bundle.network.trace_route(
+        src, dst, PROTO_UDP, UDP_SPORT, UDP_PORT
+    )
+    assert complete
+    scenario = build_scenario("C4", topology, path)
+    fail_at = DEFAULT_WARMUP + milliseconds(10)
+    for a, b in scenario.failed:
+        bundle.network.schedule_link_failure(a, b, fail_at)
+    # inside the window: detection done (+60 ms), SPF not installed (+270 ms)
+    bundle.sim.run(until=fail_at + milliseconds(150))
+
+    looping = delivered = 0
+    for dport in range(20000, 20000 + n_flows):
+        _path, ok = bundle.network.trace_route(src, dst, PROTO_UDP, UDP_SPORT, dport)
+        if ok:
+            delivered += 1
+        else:
+            looping += 1
+    return TieBreakOutcome(tie_break, n_flows, looping, delivered)
+
+
+@dataclass
+class FourAcrossOutcome:
+    """C7 with 2 vs 4 across ports."""
+
+    across_ports: int
+    connectivity_loss_ms: float
+    fast_rerouted: bool
+
+
+def run_four_across_c7(
+    ports: int = 8, seed: int = 1
+) -> Tuple[FourAcrossOutcome, FourAcrossOutcome]:
+    """C7 (condition 4) on the 2-port design vs the 4-port extension."""
+    outcomes = []
+    for across in (2, 4):
+        run = run_condition(
+            "f2tree", "C7", "udp", ports=ports, across_ports=across, seed=seed
+        )
+        loss = run.result.connectivity_loss
+        assert loss is not None
+        outcomes.append(
+            FourAcrossOutcome(
+                across_ports=across,
+                connectivity_loss_ms=to_milliseconds(loss),
+                fast_rerouted=loss <= milliseconds(100),
+            )
+        )
+    return outcomes[0], outcomes[1]

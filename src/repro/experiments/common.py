@@ -1,0 +1,132 @@
+"""Shared experiment machinery.
+
+Builds a ready-to-run bundle from a topology description: simulator,
+runtime network, a link-state protocol instance per switch, and — when the
+topology has across links — the F²Tree backup-route configuration.  Also
+provides the paper's host-selection convention ("from the leftmost end
+host to the rightmost one").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.backup_routes import configure_backup_routes
+from ..dataplane.network import Network
+from ..dataplane.params import NetworkParams
+from ..routing.centralized import (
+    CentralizedController,
+    ControllerParams,
+    deploy_centralized,
+)
+from ..routing.linkstate import LinkStateProtocol, deploy_linkstate
+from ..routing.pathvector import PathVectorParams, deploy_pathvector
+from ..routing.static import StaticRoute
+from ..sim.engine import Simulator
+from ..sim.randomness import RandomStreams
+from ..sim.units import Time, seconds
+from ..topology.graph import LinkKind, Topology
+
+#: default settling time before traffic starts: initial flooding + SPF +
+#: FIB install finish well within a second; 3 s also lets the SPF hold
+#: window expire so a later failure sees the paper's 200 ms initial timer
+DEFAULT_WARMUP: Time = seconds(3)
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale experiment sizes (REPRO_FULL_SCALE=1)."""
+    return os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes")
+
+
+@dataclass
+class Bundle:
+    """Everything needed to run an experiment on one network."""
+
+    topology: Topology
+    sim: Simulator
+    network: Network
+    #: per-switch routing agents (link-state, path-vector or centralized)
+    protocols: Dict[str, object]
+    backup_config: Optional[Dict[str, List[StaticRoute]]]
+    streams: RandomStreams
+    routing: str = "linkstate"
+    #: the global controller when ``routing == 'centralized'``
+    controller: Optional[CentralizedController] = None
+
+    def converge(self, until: Time = DEFAULT_WARMUP) -> None:
+        """Run the control plane until the network has settled."""
+        self.sim.run(until=until)
+
+
+def build_bundle(
+    topology: Topology,
+    params: Optional[NetworkParams] = None,
+    seed: int = 1,
+    backup_tie_break: str = "prefix-length",
+    routing: str = "linkstate",
+    routing_options: Optional[object] = None,
+) -> Bundle:
+    """Instantiate a network with a control plane (and backup routes if
+    F²-style).
+
+    ``routing`` selects the control plane: ``linkstate`` (the paper's
+    OSPF setting), ``pathvector`` (the §V BGP setting;
+    ``routing_options`` is a :class:`~repro.routing.pathvector.PathVectorParams`),
+    or ``centralized`` (the §V SDN setting; ``routing_options`` is a
+    :class:`~repro.routing.centralized.ControllerParams`).
+    """
+    sim = Simulator()
+    network = Network(topology, sim, params)
+    controller: Optional[CentralizedController] = None
+    if routing == "linkstate":
+        protocols: Dict[str, object] = dict(deploy_linkstate(network))
+    elif routing == "pathvector":
+        options = routing_options
+        if options is not None and not isinstance(options, PathVectorParams):
+            raise TypeError("pathvector routing expects PathVectorParams options")
+        protocols = dict(deploy_pathvector(network, options))
+    elif routing == "centralized":
+        options = routing_options
+        if options is not None and not isinstance(options, ControllerParams):
+            raise TypeError("centralized routing expects ControllerParams options")
+        controller, agents = deploy_centralized(network, options)
+        protocols = dict(agents)
+    else:
+        raise ValueError(f"unknown routing {routing!r}")
+    has_across = any(
+        link.kind is LinkKind.ACROSS for link in topology.links.values()
+    )
+    backup_config = (
+        configure_backup_routes(network, tie_break=backup_tie_break)
+        if has_across
+        else None
+    )
+    return Bundle(
+        topology=topology,
+        sim=sim,
+        network=network,
+        protocols=protocols,
+        backup_config=backup_config,
+        streams=RandomStreams(seed),
+        routing=routing,
+        controller=controller,
+    )
+
+
+def _host_sort_key(name: str) -> tuple:
+    return tuple(int(part) if part.isdigit() else part for part in name.split("-"))
+
+
+def hosts_left_to_right(topology: Topology) -> List[str]:
+    """Host names in the left-to-right order of the paper's figures."""
+    return sorted((h.name for h in topology.hosts()), key=_host_sort_key)
+
+
+def leftmost_host(topology: Topology) -> str:
+    return hosts_left_to_right(topology)[0]
+
+
+def rightmost_host(topology: Topology) -> str:
+    return hosts_left_to_right(topology)[-1]

@@ -1,0 +1,192 @@
+"""Backup-path congestion under fast reroute (a critical-evaluation probe).
+
+F²Tree concentrates all traffic of a failed downward link onto (at most)
+two across links.  The paper treats the across links purely as *backup
+capacity* and does not evaluate what happens when the rerouted load
+exceeds one link's rate; this harness measures it honestly.
+
+Method: we select CBR flows (by probing source ports) whose converged
+paths all enter the destination rack through the **same** aggregation
+switch, then fail that switch's rack link.  During the fast-reroute
+window every one of those flows must share the single rightward across
+link, so the offered load crosses the 1 Gbps boundary deterministically:
+
+* aggregate rerouted load <= 1 link: fast reroute is loss-free after
+  detection;
+* aggregate rerouted load > 1 link: the across link saturates, its queue
+  fills, and the excess drops until the control plane converges and
+  re-spreads the flows — a *real* F²Tree limitation the reproduction
+  surfaces (the price of local rerouting is local capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.backup_routes import ring_neighbors_of
+from ..core.f2tree import f2tree
+from ..dataplane.params import NetworkParams
+from ..net.packet import PROTO_UDP
+from ..sim.units import Time, microseconds, milliseconds, seconds
+from ..topology.graph import NodeKind
+from ..transport.udp import UdpSender, UdpSink
+from .common import DEFAULT_WARMUP, build_bundle, hosts_left_to_right
+
+
+@dataclass
+class CongestionResult:
+    """One load level of the reroute-congestion experiment."""
+
+    n_hot_flows: int
+    offered_mbps_per_flow: float
+    #: fraction of the load offered during the reroute window delivered
+    reroute_delivery_ratio: float
+    #: fraction delivered after the control plane re-spread the flows
+    post_convergence_delivery_ratio: float
+    #: across-link transmit utilization during the reroute window
+    across_utilization: float
+    #: packets dropped at the across link's queue
+    across_queue_drops: int
+
+    @property
+    def saturated(self) -> bool:
+        return self.across_utilization > 0.98
+
+
+def run_reroute_congestion(
+    hot_flows: int,
+    per_flow_interval: Time = microseconds(50),
+    ports: int = 8,
+    seed: int = 1,
+    params: Optional[NetworkParams] = None,
+) -> CongestionResult:
+    """Run ``hot_flows`` CBR flows through one aggregation switch into one
+    rack, fail the rack link, and measure the fast-reroute window.
+
+    At the default interval each flow offers 1448 B / 50 us ~= 232 Mbps,
+    so 4 hot flows fill the 1 Gbps across link and 5+ oversubscribe it.
+    """
+    topology = f2tree(ports)
+    bundle = build_bundle(topology, params=params, seed=seed)
+    bundle.converge()
+    network = bundle.network
+
+    dest_pod = topology.pods_of_kind(NodeKind.TOR)[-1]
+    dest_tor = topology.pod_members(NodeKind.TOR, dest_pod)[-1]
+    dest_hosts = topology.host_of_tor(dest_tor.name)
+    sources = [
+        h for h in hosts_left_to_right(topology)
+        if topology.node(h).pod != dest_pod
+    ]
+
+    # probe flows until `hot_flows` of them enter via the same agg
+    victim_agg: Optional[str] = None
+    flows: List[Tuple[str, str, int, int]] = []
+    probe_index = 0
+    while len(flows) < hot_flows:
+        probe_index += 1
+        if probe_index > 500:
+            raise RuntimeError("could not find enough co-routed flows")
+        src = sources[probe_index % len(sources)]
+        dst = dest_hosts[probe_index % len(dest_hosts)].name
+        sport, dport = 11000 + probe_index, 7100 + probe_index
+        path, ok = network.trace_route(src, dst, PROTO_UDP, sport, dport)
+        if not ok:
+            continue
+        agg = path[-3]
+        if victim_agg is None:
+            victim_agg = agg
+        if agg == victim_agg:
+            flows.append((src, dst, sport, dport))
+    assert victim_agg is not None
+
+    flow_start = DEFAULT_WARMUP
+    failure_time = flow_start + milliseconds(200)
+    flow_end = flow_start + seconds(0.8)
+    network.schedule_link_failure(victim_agg, dest_tor.name, failure_time)
+
+    sinks: List[UdpSink] = []
+    for src, dst, sport, dport in flows:
+        sink = UdpSink(network.sim, network.host(dst), dport)
+        sinks.append(sink)
+        sender = UdpSender(
+            network.sim, network.host(src), network.host(dst).ip, dport,
+            sport=sport, interval=per_flow_interval,
+        )
+        sender.start(at=flow_start, stop_at=flow_end)
+
+    neighbors = ring_neighbors_of(topology, victim_agg)
+    assert neighbors is not None
+    across_channel = network.link_between(
+        victim_agg, neighbors.right
+    ).channel_from(victim_agg)
+
+    # fast-reroute window: detection -> new routes installed
+    window_start = failure_time + network.params.detection_delay
+    window_end = (
+        window_start
+        + network.params.spf_initial_delay
+        + network.params.fib_update_delay
+    )
+    network.sim.run(until=window_start)
+    busy_start = across_channel.stats.busy_ns
+    received_start = sum(s.received for s in sinks)
+    network.sim.run(until=window_end)
+    busy_end = across_channel.stats.busy_ns
+    received_end = sum(s.received for s in sinks)
+
+    # post-convergence window of the same width, for comparison
+    post_start = window_end + milliseconds(50)
+    post_end = post_start + (window_end - window_start)
+    network.sim.run(until=post_start)
+    post_received_start = sum(s.received for s in sinks)
+    network.sim.run(until=post_end)
+    post_received_end = sum(s.received for s in sinks)
+    network.sim.run(until=flow_end + milliseconds(300))
+
+    window = window_end - window_start
+    offered_per_window = hot_flows * (window // per_flow_interval)
+    delivered = received_end - received_start
+    post_delivered = post_received_end - post_received_start
+
+    return CongestionResult(
+        n_hot_flows=hot_flows,
+        offered_mbps_per_flow=1448 * 8 * 1000.0 / per_flow_interval,
+        reroute_delivery_ratio=(
+            delivered / offered_per_window if offered_per_window else 0.0
+        ),
+        post_convergence_delivery_ratio=(
+            post_delivered / offered_per_window if offered_per_window else 0.0
+        ),
+        across_utilization=(busy_end - busy_start) / window,
+        across_queue_drops=across_channel.stats.dropped_queue,
+    )
+
+
+def run_congestion_sweep(
+    flow_counts: Tuple[int, ...] = (2, 4, 6),
+    ports: int = 8,
+    seed: int = 1,
+) -> List[CongestionResult]:
+    """Sweep offered load across the across-link capacity boundary."""
+    return [
+        run_reroute_congestion(n, ports=ports, seed=seed) for n in flow_counts
+    ]
+
+
+def render_congestion(results: List[CongestionResult]) -> str:
+    lines = [
+        "Backup-path congestion during fast reroute (hot flows share one"
+        " across link; 1 Gbps links)",
+        f"{'flows':>6} {'offered/flow':>13} {'delivered':>10} "
+        f"{'post-conv':>10} {'across util':>12} {'queue drops':>12}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.n_hot_flows:>6} {r.offered_mbps_per_flow:>8.0f} Mbps "
+            f"{r.reroute_delivery_ratio:>10.1%} "
+            f"{r.post_convergence_delivery_ratio:>10.1%} "
+            f"{r.across_utilization:>12.1%} {r.across_queue_drops:>12}"
+        )
+    return "\n".join(lines)

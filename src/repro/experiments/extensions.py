@@ -1,0 +1,206 @@
+"""Extension experiments: the §V discussion and future work, measured.
+
+The paper *argues* (without measuring) that F²Tree helps DCNs running BGP
+and centralized (SDN) routing, and defers unidirectional failures to
+future work.  These harnesses turn each claim into an experiment:
+
+* **path-vector routing** (:func:`run_pathvector_comparison`): fat tree's
+  recovery waits for withdrawal propagation and MRAI-gated path hunting —
+  it grows with the MRAI setting — while F²Tree's stays at the detection
+  delay;
+* **centralized routing** (:func:`run_centralized_comparison`): fat
+  tree's recovery includes the report→compute→push round trip, growing
+  with controller distance/load; F²Tree bridges the whole window locally;
+* **unidirectional failures** (:func:`run_unidirectional`): with
+  BFD-style bidirectional detection F²Tree fast-reroutes as usual, but
+  with interface-only (loss-of-signal) detection the *sending* switch
+  never notices a dead downward direction — local rerouting needs local
+  detection, quantifying how load-bearing the paper's BFD assumption is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..dataplane.params import NetworkParams
+from ..net.packet import PROTO_UDP
+from ..routing.centralized import ControllerParams
+from ..routing.pathvector import PathVectorParams
+from ..sim.units import Time, milliseconds, seconds, to_milliseconds
+from ..topology.fattree import fat_tree
+from ..core.f2tree import f2tree
+from ..metrics.timeseries import connectivity_loss_duration
+from ..transport.udp import UdpSender, UdpSink
+from .common import DEFAULT_WARMUP, build_bundle, leftmost_host, rightmost_host
+from .recovery import UDP_PORT, UDP_SPORT, RecoveryResult, run_recovery
+
+
+@dataclass
+class RoutingComparisonRow:
+    """Recovery from a downward failure under some control plane setting."""
+
+    setting: str
+    fat_tree_loss_ms: float
+    f2tree_loss_ms: float
+
+    @property
+    def reduction(self) -> float:
+        if self.fat_tree_loss_ms <= 0:
+            return 0.0
+        return 1 - self.f2tree_loss_ms / self.fat_tree_loss_ms
+
+
+def _loss_ms(result: RecoveryResult) -> float:
+    assert result.connectivity_loss is not None
+    return to_milliseconds(result.connectivity_loss)
+
+
+def run_pathvector_comparison(
+    mrai_values: Sequence[Time] = (
+        milliseconds(30),
+        milliseconds(100),
+        milliseconds(300),
+    ),
+    ports: int = 8,
+    seed: int = 1,
+) -> List[RoutingComparisonRow]:
+    """Single downward failure under BGP-style routing, per MRAI value."""
+    rows = []
+    for mrai in mrai_values:
+        options = PathVectorParams(mrai=mrai)
+        fat = run_recovery(
+            fat_tree(ports), "udp",
+            routing="pathvector", routing_options=options, seed=seed,
+            warmup=seconds(5),
+        )
+        f2 = run_recovery(
+            f2tree(ports), "udp",
+            routing="pathvector", routing_options=options, seed=seed,
+            warmup=seconds(5),
+        )
+        rows.append(
+            RoutingComparisonRow(
+                setting=f"mrai={to_milliseconds(mrai):.0f}ms",
+                fat_tree_loss_ms=_loss_ms(fat),
+                f2tree_loss_ms=_loss_ms(f2),
+            )
+        )
+    return rows
+
+
+def run_centralized_comparison(
+    control_latencies: Sequence[Time] = (
+        milliseconds(1),
+        milliseconds(5),
+        milliseconds(20),
+    ),
+    computation_delay: Time = milliseconds(20),
+    ports: int = 8,
+    seed: int = 1,
+) -> List[RoutingComparisonRow]:
+    """Single downward failure under SDN-style routing, per control RTT."""
+    rows = []
+    for latency in control_latencies:
+        options = ControllerParams(
+            report_latency=latency,
+            push_latency=latency,
+            computation_delay=computation_delay,
+        )
+        fat = run_recovery(
+            fat_tree(ports), "udp",
+            routing="centralized", routing_options=options, seed=seed,
+        )
+        f2 = run_recovery(
+            f2tree(ports), "udp",
+            routing="centralized", routing_options=options, seed=seed,
+        )
+        rows.append(
+            RoutingComparisonRow(
+                setting=f"ctrl-latency={to_milliseconds(latency):.0f}ms",
+                fat_tree_loss_ms=_loss_ms(fat),
+                f2tree_loss_ms=_loss_ms(f2),
+            )
+        )
+    return rows
+
+
+def render_routing_comparison(title: str, rows: Sequence[RoutingComparisonRow]) -> str:
+    lines = [
+        title,
+        f"{'setting':<22} {'fat-tree loss (ms)':>19} {'f2tree loss (ms)':>17} "
+        f"{'reduction':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.setting:<22} {row.fat_tree_loss_ms:>19.1f} "
+            f"{row.f2tree_loss_ms:>17.1f} {row.reduction:>10.1%}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class UnidirectionalOutcome:
+    """F²Tree recovery from a one-direction downward failure."""
+
+    detection_mode: str
+    connectivity_loss_ms: float
+    fast_rerouted: bool
+
+
+def run_unidirectional(
+    detection_mode: str,
+    ports: int = 8,
+    seed: int = 1,
+) -> UnidirectionalOutcome:
+    """Fail only the downward *direction* of the rack link on an F²Tree.
+
+    A bespoke runner (rather than :func:`run_recovery`) because the
+    failure is directional: only ``agg -> tor`` dies; the reverse channel
+    keeps delivering.
+    """
+    params = NetworkParams(detection_mode=detection_mode)
+    topology = f2tree(ports)
+    bundle = build_bundle(topology, params=params, seed=seed)
+    bundle.converge()
+    src, dst = leftmost_host(topology), rightmost_host(topology)
+    network = bundle.network
+    path, ok = network.trace_route(src, dst, PROTO_UDP, UDP_SPORT, UDP_PORT)
+    assert ok, path
+    agg_d, tor_d = path[-3], path[-2]
+
+    flow_start = DEFAULT_WARMUP
+    failure_time = flow_start + milliseconds(380)
+    flow_end = flow_start + seconds(1.5)
+    network.schedule_directional_failure(agg_d, tor_d, failure_time)
+
+    sink = UdpSink(network.sim, network.host(dst), UDP_PORT)
+    sender = UdpSender(
+        network.sim, network.host(src), network.host(dst).ip, UDP_PORT,
+        sport=UDP_SPORT,
+    )
+    sender.start(at=flow_start, stop_at=flow_end)
+    network.sim.run(until=flow_end + milliseconds(500))
+
+    loss = connectivity_loss_duration(
+        [a.received_at for a in sink.arrivals], failure_time
+    )
+    return UnidirectionalOutcome(
+        detection_mode=detection_mode,
+        connectivity_loss_ms=to_milliseconds(loss),
+        fast_rerouted=loss <= milliseconds(100),
+    )
+
+
+def render_unidirectional(outcomes: Sequence[UnidirectionalOutcome]) -> str:
+    lines = [
+        "Extension: unidirectional downward failure on F2Tree "
+        "(paper future work)",
+        f"{'detection mode':<16} {'outage (ms)':>12} {'fast reroute':>13}",
+    ]
+    for o in outcomes:
+        lines.append(
+            f"{o.detection_mode:<16} {o.connectivity_loss_ms:>12.1f} "
+            f"{str(o.fast_rerouted):>13}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""§V / Fig 7: F²Tree's scheme on Leaf-Spine and VL2.
+
+For each fabric we fail the downward link above the destination rack and
+compare the original topology (control-plane recovery) with its F²
+adaptation (ring + backup routes, local fast reroute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.adapt import f2_leaf_spine, f2_vl2
+from ..dataplane.params import NetworkParams
+from ..sim.units import to_milliseconds
+from ..topology.graph import Topology
+from ..topology.leafspine import leaf_spine
+from ..topology.vl2 import vl2
+from .recovery import RecoveryResult, run_recovery
+
+
+def figure_seven_topology(kind: str) -> Topology:
+    """The Fig 7 fabrics (sizes chosen to match the figure's scale)."""
+    if kind == "leaf-spine":
+        return leaf_spine(n_leaf=8, n_spine=4)
+    if kind == "f2-leaf-spine":
+        return f2_leaf_spine(n_leaf=8, n_spine=4)
+    if kind == "vl2":
+        return vl2(d_a=4, d_i=4)
+    if kind == "f2-vl2":
+        return f2_vl2(d_a=4, d_i=4)
+    raise ValueError(f"unknown Fig 7 kind {kind!r}")
+
+
+@dataclass
+class FigureSevenRow:
+    """Recovery from a downward rack-link failure on one fabric."""
+
+    kind: str
+    connectivity_loss_ms: float
+    packets_lost: int
+    fast_rerouted: bool
+
+
+def run_figure_seven(
+    kinds: Optional[List[str]] = None,
+    params: Optional[NetworkParams] = None,
+    seed: int = 1,
+) -> List[FigureSevenRow]:
+    """All four Fig 7 comparisons (UDP probe flow)."""
+    rows: List[FigureSevenRow] = []
+    for kind in kinds or ("leaf-spine", "f2-leaf-spine", "vl2", "f2-vl2"):
+        result = run_recovery(figure_seven_topology(kind), "udp", params=params, seed=seed)
+        assert result.connectivity_loss is not None
+        rows.append(
+            FigureSevenRow(
+                kind=kind,
+                connectivity_loss_ms=to_milliseconds(result.connectivity_loss),
+                packets_lost=result.packets_lost,
+                fast_rerouted=result.connectivity_loss <= 100_000_000,
+            )
+        )
+    return rows
+
+
+def render_figure_seven(rows: List[FigureSevenRow]) -> str:
+    lines = [
+        "Fig 7: F2Tree scheme on other multi-rooted fabrics (downward rack"
+        " link failure)",
+        f"{'fabric':<16} {'conn. loss (ms)':>16} {'pkts lost':>10} "
+        f"{'fast reroute':>13}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.kind:<16} {row.connectivity_loss_ms:>16.1f} "
+            f"{row.packets_lost:>10d} {str(row.fast_rerouted):>13}"
+        )
+    return "\n".join(lines)

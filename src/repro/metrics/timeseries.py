@@ -1,0 +1,155 @@
+"""Time-series metrics: throughput bins, connectivity gaps, collapse.
+
+These implement the paper's measurement methodology literally:
+
+* instantaneous throughput in **20 ms bins** (Fig 2, Fig 4's TCP metric);
+* **duration of connectivity loss** — the time between the last packet
+  received before the outage window and the first received after it
+  (Table III's definition, with the 100 us probe interval as granularity);
+* **duration of throughput collapse** — how long binned throughput stays
+  below half the pre-failure average (Table III / Fig 4).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.units import Time, milliseconds
+
+#: (timestamp, bytes) delivery records
+Delivery = Tuple[Time, int]
+
+DEFAULT_BIN: Time = milliseconds(20)
+
+
+@dataclass(frozen=True)
+class ThroughputBin:
+    """One bin of received throughput."""
+
+    start: Time
+    width: Time
+    bytes: int
+
+    @property
+    def mbps(self) -> float:
+        """Received rate in megabits/second."""
+        return self.bytes * 8 * 1000.0 / self.width  # bytes*8 bits / (ns/1e3)
+
+
+def throughput_series(
+    deliveries: Sequence[Delivery],
+    start: Time,
+    end: Time,
+    bin_width: Time = DEFAULT_BIN,
+) -> List[ThroughputBin]:
+    """Bin deliveries into fixed-width throughput bins covering [start, end)."""
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    n_bins = max(0, (end - start + bin_width - 1) // bin_width)
+    counts = [0] * n_bins
+    for timestamp, n_bytes in deliveries:
+        if start <= timestamp < end:
+            counts[(timestamp - start) // bin_width] += n_bytes
+    return [
+        ThroughputBin(start + i * bin_width, bin_width, counts[i])
+        for i in range(n_bins)
+    ]
+
+
+def connectivity_gaps(
+    arrival_times: Sequence[Time], threshold: Time
+) -> List[Tuple[Time, Time]]:
+    """All inter-arrival gaps longer than ``threshold``, as (from, to)."""
+    gaps = []
+    for earlier, later in zip(arrival_times, arrival_times[1:]):
+        if later - earlier > threshold:
+            gaps.append((earlier, later))
+    return gaps
+
+
+def connectivity_loss_duration(
+    arrival_times: Sequence[Time],
+    failure_time: Time,
+    threshold: Time = milliseconds(5),
+) -> Time:
+    """Duration of the connectivity-loss window caused by a failure.
+
+    Per Table III: the difference between the arrival of the last packet
+    before the window and the first packet after it.  The first
+    over-threshold gap ending after ``failure_time`` is the window; zero
+    means connectivity was never interrupted (for longer than the
+    threshold — gaps shorter than ``threshold`` are measurement noise at
+    the probe granularity).
+    """
+    for earlier, later in zip(arrival_times, arrival_times[1:]):
+        if later - earlier > threshold and later > failure_time:
+            return later - earlier
+    return 0
+
+
+def pre_failure_average(
+    bins: Sequence[ThroughputBin], failure_time: Time, settle: Time = milliseconds(100)
+) -> float:
+    """Average bytes/bin over complete bins in [start+settle, failure)."""
+    usable = [
+        b.bytes
+        for b in bins
+        if b.start >= bins[0].start + settle and b.start + b.width <= failure_time
+    ]
+    if not usable:
+        raise ValueError("no complete pre-failure bins to average")
+    return sum(usable) / len(usable)
+
+
+def throughput_collapse_duration(
+    deliveries: Sequence[Delivery],
+    flow_start: Time,
+    failure_time: Time,
+    end: Time,
+    bin_width: Time = DEFAULT_BIN,
+) -> Time:
+    """How long binned throughput stays below half its pre-failure average.
+
+    Measured from the first sub-half bin at/after the failure until the
+    first bin back at or above half the baseline (Table III's "duration of
+    throughput collapse", 20 ms bins).
+    """
+    bins = throughput_series(deliveries, flow_start, end, bin_width)
+    if not bins:
+        return 0
+    baseline = pre_failure_average(bins, failure_time)
+    half = baseline / 2
+    collapse_start: Optional[Time] = None
+    for b in bins:
+        if b.start + b.width <= failure_time:
+            continue
+        if collapse_start is None:
+            if b.bytes < half:
+                collapse_start = b.start
+        elif b.bytes >= half:
+            return b.start - collapse_start
+    if collapse_start is not None:
+        return end - collapse_start
+    return 0
+
+
+def render_throughput(
+    bins: Sequence[ThroughputBin], failure_time: Optional[Time] = None,
+    max_width: int = 50,
+) -> str:
+    """ASCII rendering of a throughput time series (Fig 2-style)."""
+    if not bins:
+        return "(no data)"
+    peak = max(b.bytes for b in bins) or 1
+    lines = []
+    for b in bins:
+        bar = "#" * round(b.bytes / peak * max_width)
+        marker = " <-- failure" if (
+            failure_time is not None and b.start <= failure_time < b.start + b.width
+        ) else ""
+        lines.append(
+            f"{b.start / 1e6:9.1f}ms {b.mbps:8.1f} Mbps |{bar}{marker}"
+        )
+    return "\n".join(lines)

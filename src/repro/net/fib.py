@@ -1,0 +1,164 @@
+"""Forwarding Information Base: a binary trie with longest-prefix matching.
+
+The FIB is the heart of the reproduction: F²Tree's fast reroute is *nothing
+but* longest-prefix-match fall-through.  The backup static routes use
+prefixes (``/16``, ``/15``) shorter than anything OSPF installs (``/24``,
+``/32``), so they are always present in the FIB; when every next hop of a
+longer match is locally known to be dead, the lookup *falls through* to the
+next-shorter match.  :meth:`Fib.matches` therefore yields matching entries
+from longest to shortest and lets the data plane prune dead next hops at
+each step.
+
+The trie is a straightforward binary (bit-at-a-time) trie.  At the scales of
+the paper's experiments (tens of routes per switch) anything would do; the
+trie keeps lookups O(32) regardless of route count and is the natural thing
+to test with hypothesis against a brute-force reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Optional, Tuple
+
+from .ip import IPv4Address, Prefix
+
+#: Sentinel next hop meaning "the destination is directly attached".
+LOCAL = "LOCAL"
+
+#: A next hop is a node identifier (or the LOCAL sentinel).
+NextHop = Hashable
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One installed forwarding entry.
+
+    ``next_hops`` is an ordered tuple (order matters for deterministic ECMP
+    hashing).  ``source`` records the producing protocol ("connected",
+    "linkstate", "static", ...) for observability and tests.
+    """
+
+    prefix: Prefix
+    next_hops: Tuple[NextHop, ...]
+    source: str = "unknown"
+    metric: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.next_hops:
+            raise ValueError(f"FIB entry for {self.prefix} has no next hops")
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_TrieNode"]] = [None, None]
+        self.entry: Optional[FibEntry] = None
+
+
+class Fib:
+    """A longest-prefix-match forwarding table."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def install(self, entry: FibEntry) -> None:
+        """Insert or replace the entry for ``entry.prefix``."""
+        node = self._root
+        for bit_index in range(entry.prefix.length):
+            bit = (entry.prefix.network >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if node.entry is None:
+            self._count += 1
+        node.entry = entry
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the entry for ``prefix``; returns False if absent.
+
+        Empty trie branches are pruned so that long-running simulations with
+        failure churn do not leak nodes.
+        """
+        path: list[tuple[_TrieNode, int]] = []
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if node.entry is None:
+            return False
+        node.entry = None
+        self._count -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.entry is None and child.children[0] is None and child.children[1] is None:
+                parent.children[bit] = None
+            else:
+                break
+        return True
+
+    def exact(self, prefix: Prefix) -> Optional[FibEntry]:
+        """The entry installed for exactly ``prefix``, if any."""
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.entry
+
+    def matches(self, address: IPv4Address) -> Iterator[FibEntry]:
+        """Yield every entry covering ``address``, longest prefix first.
+
+        This is the primitive the data plane builds fast reroute on: it
+        walks the chain and stops at the first entry with a *live* next hop.
+        """
+        value = address.value
+        chain: list[FibEntry] = []
+        node = self._root
+        if node.entry is not None:
+            chain.append(node.entry)
+        for bit_index in range(32):
+            bit = (value >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.entry is not None:
+                chain.append(node.entry)
+        yield from reversed(chain)
+
+    def lookup(self, address: IPv4Address) -> Optional[FibEntry]:
+        """Plain longest-prefix match (first element of :meth:`matches`)."""
+        for entry in self.matches(address):
+            return entry
+        return None
+
+    def entries(self) -> Iterator[FibEntry]:
+        """Iterate all installed entries (no defined order guarantees beyond
+        a deterministic depth-first walk)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.entry is not None:
+                yield node.entry
+            for child in (node.children[1], node.children[0]):
+                if child is not None:
+                    stack.append(child)
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._root = _TrieNode()
+        self._count = 0

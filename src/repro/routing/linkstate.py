@@ -1,0 +1,247 @@
+"""The distributed link-state routing protocol (OSPF stand-in).
+
+This is the reproduction's substitute for Quagga OSPF.  It reproduces the
+exact sources of delay the paper decomposes (§I, §III):
+
+1. **failure detection** (~60 ms) — owned by the data plane's detectors;
+   this agent only hears about it via :meth:`on_neighbor_change`;
+2. **LSA origination and flooding** — real control packets over the live
+   links, a per-hop processing delay, sequence-numbered freshness, two-way
+   check in SPF;
+3. **throttled SPF** — Quagga-style ``timers throttle spf 200 1000 10000``:
+   the first computation after a quiet period waits ``spf_initial_delay``;
+   consecutive computations are separated by a hold time that doubles under
+   churn up to ``spf_hold_max`` — the mechanism behind the paper's observed
+   ~9 s timers during failure storms (§IV-B);
+4. **FIB update delay** (~10 ms) — routes computed by SPF only take effect
+   in the data plane after ``fib_update_delay``.
+
+F²Tree's point is precisely that its static backup routes bypass steps
+2 - 4 entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.fib import FibEntry
+from ..net.ip import Prefix
+from ..net.packet import Packet
+from ..sim.engine import Simulator, Timer
+from ..sim.units import Time
+from ..dataplane.node import SwitchNode
+from ..dataplane.params import NetworkParams
+from .lsdb import Lsa, Lsdb
+from .spf import RouteTable, compute_routes
+
+#: FIB entry source tag for routes installed by this protocol.
+SOURCE = "linkstate"
+
+
+@dataclass
+class ProtocolStats:
+    """Observability counters (used heavily by tests and EXPERIMENTS.md)."""
+
+    lsas_originated: int = 0
+    lsas_flooded: int = 0
+    lsas_accepted: int = 0
+    spf_runs: int = 0
+    fib_installs: int = 0
+    #: hold values at each SPF completion — shows the exponential backoff
+    hold_history: List[Time] = field(default_factory=list)
+
+
+class LinkStateProtocol:
+    """One router's protocol instance (a `RoutingAgent` for its switch)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: SwitchNode,
+        params: NetworkParams,
+        switch_neighbors: Sequence[str],
+        advertised: Sequence[Prefix] = (),
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.params = params
+        self.name = switch.name
+        #: neighbors participating in the protocol (hosts never do)
+        self._protocol_neighbors: Set[str] = set(switch_neighbors)
+        self._advertised: Tuple[Prefix, ...] = tuple(advertised)
+        self.lsdb = Lsdb()
+        self.stats = ProtocolStats()
+        self._seq = 0
+        # SPF throttle state
+        self._spf_timer = Timer(sim, self._run_spf)
+        self._hold_current: Time = params.spf_hold
+        self._hold_expiry: Time = 0
+        # FIB state
+        self._installed: Dict[Prefix, FibEntry] = {}
+        self._pending_routes: Optional[RouteTable] = None
+        self._install_timer = Timer(sim, self._install_pending)
+        switch.routing_agent = self
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Originate the initial LSA and begin flooding."""
+        self._originate()
+
+    def _live_protocol_neighbors(self) -> List[str]:
+        return sorted(
+            peer
+            for peer in self._protocol_neighbors
+            if self.switch.neighbor_alive(peer)
+        )
+
+    def _originate(self) -> None:
+        self._seq += 1
+        lsa = Lsa(
+            origin=self.name,
+            seq=self._seq,
+            neighbors=tuple(self._live_protocol_neighbors()),
+            prefixes=self._advertised,
+        )
+        self.stats.lsas_originated += 1
+        self.lsdb.insert(lsa)
+        self._flood([lsa], exclude=None)
+        self._schedule_spf()
+
+    # ------------------------------------------------------------- flooding
+
+    def _flood(self, lsas: List[Lsa], exclude: Optional[str]) -> None:
+        for peer in self._live_protocol_neighbors():
+            if peer == exclude:
+                continue
+            self.stats.lsas_flooded += len(lsas)
+            self.switch.send_control(
+                peer, payload=tuple(lsas), size_bytes=self.params.lsa_size_bytes
+            )
+
+    def on_control_packet(self, packet: Packet, sender: str) -> None:
+        """Receive a batch of flooded LSAs (after a processing delay)."""
+        lsas = packet.payload
+        self.sim.schedule(
+            self.params.lsa_processing_delay, self._process_lsas, lsas, sender
+        )
+
+    def _process_lsas(self, lsas: Tuple[Lsa, ...], sender: str) -> None:
+        accepted: List[Lsa] = []
+        for lsa in lsas:
+            if self.lsdb.insert(lsa):
+                accepted.append(lsa)
+        if not accepted:
+            return
+        self.stats.lsas_accepted += len(accepted)
+        self._flood(accepted, exclude=sender)
+        self._schedule_spf()
+
+    # ----------------------------------------------------------- detection
+
+    def on_neighbor_change(self, peer: str, up: bool) -> None:
+        """Adjacency change reported by the switch's failure detection."""
+        if peer not in self._protocol_neighbors:
+            return  # a host link; not part of the routing protocol
+        if up:
+            # database synchronisation with the revived neighbor, so that a
+            # healed partition learns the other side's state
+            everything = list(self.lsdb.all())
+            if everything:
+                self.switch.send_control(
+                    peer,
+                    payload=tuple(everything),
+                    size_bytes=self.params.lsa_size_bytes * max(1, len(everything)),
+                )
+        self._originate()
+
+    # -------------------------------------------------------- SPF throttle
+
+    def _schedule_spf(self) -> None:
+        """Quagga-style SPF throttling (see module docstring)."""
+        if self._spf_timer.armed:
+            return  # the scheduled run will see this change
+        now = self.sim.now
+        if now >= self._hold_expiry:
+            # quiet period: reset the backoff, apply the initial delay
+            self._hold_current = self.params.spf_hold
+            delay = self.params.spf_initial_delay
+        else:
+            delay = self._hold_expiry - now
+            self._hold_current = min(
+                2 * self._hold_current, self.params.spf_hold_max
+            )
+        self._spf_timer.start(delay)
+
+    def _run_spf(self) -> None:
+        self.stats.spf_runs += 1
+        self.stats.hold_history.append(self._hold_current)
+        self._hold_expiry = self.sim.now + self._hold_current
+        self._pending_routes = compute_routes(self.name, self.lsdb)
+        self._install_timer.start(self.params.fib_update_delay)
+
+    def _install_pending(self) -> None:
+        """FIB download: replace this protocol's routes atomically."""
+        routes = self._pending_routes
+        if routes is None:
+            return
+        self._pending_routes = None
+        self.stats.fib_installs += 1
+        fib = self.switch.fib
+        for prefix in list(self._installed):
+            if prefix not in routes:
+                fib.withdraw(prefix)
+                del self._installed[prefix]
+        for prefix, next_hops in routes.items():
+            current = self._installed.get(prefix)
+            if current is not None and current.next_hops == next_hops:
+                continue
+            entry = FibEntry(prefix, next_hops, source=SOURCE)
+            fib.install(entry)
+            self._installed[prefix] = entry
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def routes(self) -> Dict[Prefix, FibEntry]:
+        """Routes currently installed in the FIB by this protocol."""
+        return dict(self._installed)
+
+
+def deploy_linkstate(network, advertise_loopbacks: bool = True) -> Dict[str, LinkStateProtocol]:
+    """Install a protocol instance on every switch of a network.
+
+    ToRs/leaves advertise their host subnet (the paper's "each ToR will
+    redistribute the subnet address containing hosts below into OSPF");
+    optionally every switch advertises its /32 loopback.
+    Returns the per-switch instances; call :meth:`LinkStateProtocol.start`
+    happens here at construction order, which is fine because flooding is
+    event-driven.
+    """
+    from ..dataplane.network import Network  # local import to avoid a cycle
+
+    assert isinstance(network, Network)
+    instances: Dict[str, LinkStateProtocol] = {}
+    for switch in network.switches():
+        spec = switch.spec
+        advertised: List[Prefix] = []
+        if spec.subnet is not None:
+            advertised.append(spec.subnet)
+        if advertise_loopbacks:
+            advertised.append(Prefix(switch.ip, 32))
+        switch_neighbors = [
+            peer
+            for peer in switch.links_by_peer
+            if isinstance(network.nodes[peer], SwitchNode)
+        ]
+        instances[switch.name] = LinkStateProtocol(
+            network.sim,
+            switch,
+            network.params,
+            switch_neighbors=switch_neighbors,
+            advertised=advertised,
+        )
+    for protocol in instances.values():
+        protocol.start()
+    return instances

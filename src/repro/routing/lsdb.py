@@ -1,0 +1,66 @@
+"""Link-state advertisements and the link-state database.
+
+Each router originates one LSA describing its live switch adjacencies and
+its attached ("stub") prefixes — a ToR's host subnet, plus the router's /32
+loopback.  Sequence numbers provide freshness, exactly like OSPF router
+LSAs (we skip aging/MaxAge: simulated experiments are shorter than any
+refresh interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ..net.ip import Prefix
+
+
+@dataclass(frozen=True)
+class Lsa:
+    """One router's link-state advertisement."""
+
+    origin: str
+    seq: int
+    neighbors: Tuple[str, ...]
+    prefixes: Tuple[Prefix, ...]
+
+    def newer_than(self, other: Optional["Lsa"]) -> bool:
+        """Freshness comparison (higher sequence wins)."""
+        return other is None or self.seq > other.seq
+
+
+class Lsdb:
+    """The per-router link-state database."""
+
+    def __init__(self) -> None:
+        self._by_origin: Dict[str, Lsa] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_origin)
+
+    def get(self, origin: str) -> Optional[Lsa]:
+        return self._by_origin.get(origin)
+
+    def insert(self, lsa: Lsa) -> bool:
+        """Store ``lsa`` if it is fresher; returns True when stored."""
+        if lsa.newer_than(self._by_origin.get(lsa.origin)):
+            self._by_origin[lsa.origin] = lsa
+            return True
+        return False
+
+    def all(self) -> Iterator[Lsa]:
+        yield from self._by_origin.values()
+
+    def two_way_neighbors(self, origin: str) -> Iterator[str]:
+        """Neighbors of ``origin`` confirmed in *both* directions.
+
+        OSPF only uses a link in SPF when both endpoints advertise it; this
+        is what prevents half-learned failures from creating phantom links.
+        """
+        own = self._by_origin.get(origin)
+        if own is None:
+            return
+        for peer in own.neighbors:
+            peer_lsa = self._by_origin.get(peer)
+            if peer_lsa is not None and origin in peer_lsa.neighbors:
+                yield peer

@@ -1,0 +1,83 @@
+"""Shortest-path-first computation with ECMP.
+
+Dijkstra over the two-way-connected LSDB graph with unit link costs (the
+paper's footnote 4: every DCN link has the same cost).  For every
+destination we keep the **set of first hops** across all equal-cost
+shortest paths — that set is what ECMP hashes over (§II-A), and its
+"eliminate the failed member" behaviour is realised later by the data
+plane's live-next-hop pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Tuple
+
+from ..net.ip import Prefix
+from .lsdb import Lsdb
+
+#: destination prefix -> ordered next-hop switch names
+RouteTable = Dict[Prefix, Tuple[str, ...]]
+
+
+def compute_routes(origin: str, lsdb: Lsdb) -> RouteTable:
+    """All-prefix ECMP routes from ``origin``'s point of view.
+
+    Prefixes advertised by ``origin`` itself are excluded (they are
+    connected, not routed).  When several routers advertise the same prefix
+    (anycast-style), the nearest wins and equal distances merge their next
+    hops.
+    """
+    own = lsdb.get(origin)
+    if own is None:
+        return {}
+
+    dist: Dict[str, int] = {origin: 0}
+    first_hops: Dict[str, frozenset] = {origin: frozenset()}
+    heap: list[tuple[int, str]] = [(0, origin)]
+    visited: set[str] = set()
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for v in lsdb.two_way_neighbors(u):
+            nd = d + 1
+            if u == origin:
+                hops: frozenset = frozenset((v,))
+            else:
+                hops = first_hops[u]
+            known = dist.get(v)
+            if known is None or nd < known:
+                dist[v] = nd
+                first_hops[v] = hops
+                heapq.heappush(heap, (nd, v))
+            elif nd == known:
+                merged = first_hops[v] | hops
+                if merged != first_hops[v]:
+                    first_hops[v] = merged
+                    # same distance: no need to re-push, neighbours of v will
+                    # re-read first_hops[v] only if v is not yet visited
+                    if v not in visited:
+                        heapq.heappush(heap, (nd, v))
+
+    own_prefixes = set(own.prefixes)
+    best: Dict[Prefix, tuple[int, frozenset]] = {}
+    for lsa in lsdb.all():
+        if lsa.origin == origin or lsa.origin not in dist:
+            continue
+        d = dist[lsa.origin]
+        hops = first_hops[lsa.origin]
+        if not hops:
+            continue
+        for prefix in lsa.prefixes:
+            if prefix in own_prefixes:
+                continue
+            current = best.get(prefix)
+            if current is None or d < current[0]:
+                best[prefix] = (d, hops)
+            elif d == current[0]:
+                best[prefix] = (d, current[1] | hops)
+
+    return {prefix: tuple(sorted(hops)) for prefix, (d, hops) in best.items()}

@@ -1,0 +1,60 @@
+"""Static routes — the entirety of F²Tree's configuration change.
+
+A static route is installed straight into the FIB at configuration time and
+never withdrawn; because F²Tree's backup routes use *shorter* prefixes than
+anything the routing protocol produces, they coexist with protocol routes
+and only ever match after every longer prefix has failed its live-next-hop
+check.  They are deliberately **not redistributed** into the protocol
+(paper §II-B) — each is meaningful only at the switch it is configured on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..net.fib import FibEntry
+from ..net.ip import Prefix
+from ..dataplane.node import SwitchNode
+
+#: FIB entry source tag for static routes.
+SOURCE = "static"
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    """One ``ip route <prefix> <next-hop>`` line of switch configuration."""
+
+    prefix: Prefix
+    next_hop: str  # neighbor switch name
+
+    def __str__(self) -> str:
+        return f"ip route {self.prefix} via {self.next_hop}"
+
+
+class StaticRouteConflict(Exception):
+    """Raised when a static route collides with an existing FIB prefix."""
+
+
+def install_static_routes(switch: SwitchNode, routes: Iterable[StaticRoute]) -> None:
+    """Install static routes on a switch.
+
+    Collisions with existing entries for the same prefix are refused: the
+    F²Tree design relies on the backup prefixes being unique in the FIB,
+    and silently replacing a protocol route would mask a mis-configuration.
+    """
+    for route in routes:
+        existing = switch.fib.exact(route.prefix)
+        if existing is not None and existing.source != SOURCE:
+            raise StaticRouteConflict(
+                f"{switch.name}: static route {route} collides with "
+                f"{existing.source} entry"
+            )
+        switch.fib.install(
+            FibEntry(route.prefix, (route.next_hop,), source=SOURCE)
+        )
+
+
+def static_routes_of(switch: SwitchNode) -> Sequence[FibEntry]:
+    """The static entries currently installed on a switch."""
+    return [e for e in switch.fib.entries() if e.source == SOURCE]

@@ -1,0 +1,214 @@
+"""Discrete-event simulation core.
+
+A :class:`Simulator` owns a priority queue of events ordered by
+``(time, priority, sequence)``.  Cancellation is O(1) (events are flagged and
+skipped when popped).  All model code receives the simulator instance and
+schedules callbacks; there are no threads and no wall-clock dependence, so a
+given (model, seed) pair always produces the identical event trace.
+
+Design notes
+------------
+* Time is integer nanoseconds (:mod:`repro.sim.units`).
+* ``priority`` breaks ties between events scheduled for the same instant;
+  lower runs first.  Model code rarely needs it, but the data plane uses it
+  so that, e.g., a link-down event at time *t* takes effect before packet
+  deliveries scheduled for the same *t*.
+* The ``sequence`` counter makes ordering total and deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .units import Time
+
+#: Priority for control events (failures, timers) — runs before deliveries.
+PRIORITY_CONTROL = 0
+#: Default priority for ordinary model events.
+PRIORITY_NORMAL = 10
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: Time
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle for a scheduled event; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> Time:
+        """The simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(microseconds(10), my_callback, arg1, arg2)
+        sim.run(until=seconds(1))
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._now: Time = 0
+        self._sequence: int = 0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> Time:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        event = _Event(time, priority, self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(self, until: Optional[Time] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Events scheduled exactly at ``until`` do **not** run; the clock is
+        left at ``until`` (or at the last event time if the queue drained).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time >= until:
+                    self._now = until
+                    return
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    return
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event; returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_processed += 1
+            return True
+        return False
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Encapsulates the schedule/cancel/reschedule pattern used throughout the
+    routing and transport code (retransmission timers, SPF hold timers...).
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is scheduled and has not fired."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expiry(self) -> Optional[Time]:
+        """Absolute firing time, or None when not armed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay: Time) -> None:
+        """(Re)arm the timer to fire ``delay`` ns from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire, priority=PRIORITY_CONTROL)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

@@ -1,0 +1,111 @@
+"""DCN address assignment, following Fig 3(d) of the paper.
+
+The paper describes (from an interview with a top cloud provider) the
+production convention our reproduction follows:
+
+* every switch bundles all ports into **one** layer-3 interface with one IP;
+* hosts in a rack share the ToR's ``/24`` subnet, which the ToR
+  redistributes into the routing protocol;
+* the **DCN prefix** (``10.11.0.0/16``) covers every host, and a one-bit
+  shorter **covering prefix** (``10.10.0.0/15``) covers the DCN prefix —
+  these two carry F²Tree's backup static routes.
+
+Concretely (matching the figure): ToR *i* owns ``10.11.i.0/24`` with switch
+IP ``10.11.i.1`` and hosts from ``.2``; aggregation switch *j* is
+``10.12.j.1``; core *m* is ``10.13.m.1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..net.ip import IPv4Address, Prefix
+from .graph import Node, NodeKind, Topology, TopologyError
+
+#: The prefix covering every host in the DCN (backup route #3 in Table II).
+DCN_PREFIX = Prefix("10.11.0.0/16")
+#: The shorter prefix covering the DCN prefix (backup route #4 in Table II).
+COVERING_PREFIX = Prefix("10.10.0.0/15")
+
+_AGG_BASE = IPv4Address("10.12.0.0")
+_CORE_BASE = IPv4Address("10.13.0.0")
+
+
+@dataclass
+class AddressPlan:
+    """The result of address assignment.
+
+    All the maps are also written back onto the topology's nodes
+    (``node.ip`` / ``node.subnet``) for convenient access.
+    """
+
+    dcn_prefix: Prefix = DCN_PREFIX
+    covering_prefix: Prefix = COVERING_PREFIX
+    switch_ips: Dict[str, IPv4Address] = field(default_factory=dict)
+    host_ips: Dict[str, IPv4Address] = field(default_factory=dict)
+    tor_subnets: Dict[str, Prefix] = field(default_factory=dict)
+    #: reverse map, for trace readability
+    by_ip: Dict[IPv4Address, str] = field(default_factory=dict)
+
+    def ip_of(self, name: str) -> IPv4Address:
+        ip = self.switch_ips.get(name) or self.host_ips.get(name)
+        if ip is None:
+            raise TopologyError(f"no address assigned to {name!r}")
+        return ip
+
+    def name_of(self, ip: IPv4Address) -> str:
+        name = self.by_ip.get(ip)
+        if name is None:
+            raise TopologyError(f"unknown address {ip}")
+        return name
+
+
+def assign_addresses(topology: Topology) -> AddressPlan:
+    """Assign addresses per the Fig 3(d) convention.
+
+    ToRs (and Leaf-Spine leaves) get consecutive ``/24``s under the DCN
+    prefix; aggregation/spine/intermediate and core switches get loopbacks
+    under ``10.12.0.0/16`` and ``10.13.0.0/16`` respectively.
+    """
+    plan = AddressPlan()
+
+    tors = topology.nodes_of_kind(NodeKind.TOR, NodeKind.LEAF)
+    if len(tors) > 254:
+        raise TopologyError(
+            f"{len(tors)} racks exceed the /16 DCN prefix's 254 rack subnets"
+        )
+    for index, tor in enumerate(tors):
+        subnet = Prefix(DCN_PREFIX.address(index * 256), 24)
+        tor_ip = subnet.address(1)
+        tor.ip = tor_ip
+        tor.subnet = subnet
+        plan.tor_subnets[tor.name] = subnet
+        plan.switch_ips[tor.name] = tor_ip
+        plan.by_ip[tor_ip] = tor.name
+        hosts = topology.host_of_tor(tor.name)
+        if len(hosts) > 252:
+            raise TopologyError(f"too many hosts under {tor.name}")
+        for offset, host in enumerate(hosts):
+            host_ip = subnet.address(2 + offset)
+            host.ip = host_ip
+            plan.host_ips[host.name] = host_ip
+            plan.by_ip[host_ip] = host.name
+
+    middle = topology.nodes_of_kind(
+        NodeKind.AGG, NodeKind.SPINE, NodeKind.INTERMEDIATE
+    )
+    for index, switch in enumerate(middle):
+        ip = IPv4Address(_AGG_BASE.value + index * 256 + 1)
+        switch.ip = ip
+        plan.switch_ips[switch.name] = ip
+        plan.by_ip[ip] = switch.name
+
+    cores = topology.nodes_of_kind(NodeKind.CORE)
+    for index, core in enumerate(cores):
+        ip = IPv4Address(_CORE_BASE.value + index * 256 + 1)
+        core.ip = ip
+        plan.switch_ips[core.name] = ip
+        plan.by_ip[ip] = core.name
+
+    return plan

@@ -1,0 +1,94 @@
+"""Aspen tree (Walraed-Sullivan et al., CoNEXT 2013) — Table I baseline.
+
+An Aspen tree ``<f, 0>`` adds fault tolerance ``f`` between the aggregation
+and core layers by connecting each core to every pod with ``f + 1``
+*parallel* links instead of one.  The price is capacity: only ``N/(f+1)``
+pods fit, so an ``N``-port Aspen tree supports ``N^3 / (4(f+1))`` hosts and
+consumes ``5N^2 / (4(f+1))`` switches (Table I's Aspen row) — versus
+F²Tree's low-order-term cost.
+
+Structure for ``N``-port switches and tolerance ``f``:
+
+* ``N/(f+1)`` pods, each with ``N/2`` ToRs and ``N/2`` aggs (full bipartite);
+* ``N^2/(4(f+1))`` cores in ``N/2`` groups of ``N/(2(f+1))``;
+* aggregation switch ``i`` of each pod connects to every core of group ``i``
+  with ``f + 1`` parallel links.
+
+``f = 0`` degenerates to the standard fat tree (up to node naming).
+"""
+
+from __future__ import annotations
+
+from .graph import LinkKind, Node, NodeKind, Topology, TopologyError
+
+
+def aspen_tree(ports: int, fault_tolerance: int, hosts_per_tor: int | None = None) -> Topology:
+    """Build an ``<f, 0>`` Aspen tree from ``ports``-port switches."""
+    f = fault_tolerance
+    if f < 0:
+        raise TopologyError(f"fault tolerance must be >= 0, got {f}")
+    half = ports // 2
+    if ports < 4 or ports % 2:
+        raise TopologyError(f"aspen tree needs an even port count >= 4, got {ports}")
+    if ports % (f + 1):
+        raise TopologyError(
+            f"ports ({ports}) must be divisible by f+1 ({f + 1})"
+        )
+    if half % (f + 1):
+        raise TopologyError(
+            f"ports/2 ({half}) must be divisible by f+1 ({f + 1})"
+        )
+    if hosts_per_tor is None:
+        hosts_per_tor = half
+
+    pods = ports // (f + 1)
+    cores_per_group = half // (f + 1)
+
+    topo = Topology(
+        f"aspen-{ports}-f{f}",
+        params={
+            "ports": ports,
+            "fault_tolerance": f,
+            "hosts_per_tor": hosts_per_tor,
+            "family": "aspen",
+        },
+    )
+
+    for pod in range(pods):
+        for t in range(half):
+            topo.add_node(Node(f"tor-{pod}-{t}", NodeKind.TOR, pod=pod, position=t))
+        for a in range(half):
+            topo.add_node(Node(f"agg-{pod}-{a}", NodeKind.AGG, pod=pod, position=a))
+        for t in range(half):
+            for h in range(hosts_per_tor):
+                host = topo.add_node(
+                    Node(f"host-{pod}-{t}-{h}", NodeKind.HOST, pod=pod, position=h)
+                )
+                topo.add_link(host.name, f"tor-{pod}-{t}", LinkKind.HOST)
+        for t in range(half):
+            for a in range(half):
+                topo.add_link(f"tor-{pod}-{t}", f"agg-{pod}-{a}", LinkKind.TOR_AGG)
+
+    for group in range(half):
+        for c in range(cores_per_group):
+            topo.add_node(
+                Node(f"core-{group}-{c}", NodeKind.CORE, pod=group, position=c)
+            )
+            for pod in range(pods):
+                for _ in range(f + 1):
+                    topo.add_link(
+                        f"agg-{pod}-{group}", f"core-{group}-{c}", LinkKind.AGG_CORE
+                    )
+
+    topo.validate_port_budget(ports, (NodeKind.TOR, NodeKind.AGG, NodeKind.CORE))
+    return topo
+
+
+def expected_aspen_counts(ports: int, fault_tolerance: int) -> dict:
+    """Closed-form counts from Table I (Aspen row)."""
+    f1 = fault_tolerance + 1
+    return {
+        "switches": 5 * ports * ports // (4 * f1),
+        "hosts": ports ** 3 // (4 * f1),
+        "pods": ports // f1,
+    }

@@ -1,0 +1,84 @@
+"""Standard k-ary fat tree (Al-Fares et al., SIGCOMM 2008).
+
+A 3-layer fat tree of ``k``-port switches has ``k`` pods; each pod holds
+``k/2`` ToRs and ``k/2`` aggregation switches in full bipartite; there are
+``(k/2)^2`` core switches, in ``k/2`` *groups* of ``k/2``: every core of
+group ``i`` connects to aggregation switch ``i`` of every pod.  Each ToR
+serves ``k/2`` hosts — ``k^3/4`` in total (Table I's fat tree row).
+
+Node naming (used throughout scenarios and tests):
+
+* ``host-<p>-<t>-<h>`` — host ``h`` under ToR ``t`` of pod ``p``
+* ``tor-<p>-<t>``, ``agg-<p>-<a>`` — pod-local index left to right
+* ``core-<g>-<c>`` — core ``c`` of group ``g``
+
+Core switches carry ``pod=<group>`` so that the F²Tree rewiring can treat a
+core group as a pod (the paper's definition of a pod — switches attached to
+the same subtrees — makes each core group a pod of the core layer).
+"""
+
+from __future__ import annotations
+
+from .graph import LinkKind, Node, NodeKind, Topology, TopologyError
+
+
+def fat_tree(ports: int, hosts_per_tor: int | None = None) -> Topology:
+    """Build a 3-layer fat tree of ``ports``-port switches.
+
+    ``hosts_per_tor`` defaults to ``ports/2`` (the non-oversubscribed
+    maximum); experiments sometimes attach fewer hosts to keep the
+    simulation small without touching the switching fabric.
+    """
+    if ports < 4 or ports % 2:
+        raise TopologyError(f"fat tree needs an even port count >= 4, got {ports}")
+    half = ports // 2
+    if hosts_per_tor is None:
+        hosts_per_tor = half
+    if hosts_per_tor > half:
+        raise TopologyError(
+            f"{hosts_per_tor} hosts per ToR exceed the {half} free ports"
+        )
+
+    topo = Topology(
+        f"fat-tree-{ports}",
+        params={"ports": ports, "hosts_per_tor": hosts_per_tor, "family": "fat-tree"},
+    )
+
+    for pod in range(ports):
+        for t in range(half):
+            topo.add_node(Node(f"tor-{pod}-{t}", NodeKind.TOR, pod=pod, position=t))
+        for a in range(half):
+            topo.add_node(Node(f"agg-{pod}-{a}", NodeKind.AGG, pod=pod, position=a))
+        for t in range(half):
+            for h in range(hosts_per_tor):
+                host = topo.add_node(
+                    Node(f"host-{pod}-{t}-{h}", NodeKind.HOST, pod=pod, position=h)
+                )
+                topo.add_link(host.name, f"tor-{pod}-{t}", LinkKind.HOST)
+        for t in range(half):
+            for a in range(half):
+                topo.add_link(f"tor-{pod}-{t}", f"agg-{pod}-{a}", LinkKind.TOR_AGG)
+
+    for group in range(half):
+        for c in range(half):
+            topo.add_node(
+                Node(f"core-{group}-{c}", NodeKind.CORE, pod=group, position=c)
+            )
+    for group in range(half):
+        for c in range(half):
+            core = f"core-{group}-{c}"
+            for pod in range(ports):
+                topo.add_link(f"agg-{pod}-{group}", core, LinkKind.AGG_CORE)
+
+    topo.validate_port_budget(ports, (NodeKind.TOR, NodeKind.AGG, NodeKind.CORE))
+    return topo
+
+
+def expected_fat_tree_counts(ports: int) -> dict:
+    """Closed-form counts from Table I (fat tree row)."""
+    return {
+        "switches": 5 * ports * ports // 4,
+        "hosts": ports ** 3 // 4,
+        "pods": ports,
+        "cores": (ports // 2) ** 2,
+    }

@@ -1,0 +1,47 @@
+"""Two-layer Leaf-Spine topology (as in CONGA [17], paper §V / Fig 7(a)).
+
+``n_leaf`` leaf switches connect in full bipartite to ``n_spine`` spine
+switches; hosts hang off leaves.  Like the fat tree, a *downward* spine→leaf
+link has no immediate backup (the spine has exactly one link toward each
+leaf), so a downward failure must wait for control-plane convergence — which
+is what the F²Tree adaptation (spine ring + backup routes) removes.
+
+All leaves form one pod (they attach to the same subtree set), and all
+spines form one pod, matching the paper's pod definition; the F²Tree
+rewiring rings the spine layer.
+"""
+
+from __future__ import annotations
+
+from .graph import LinkKind, Node, NodeKind, Topology, TopologyError
+
+
+def leaf_spine(n_leaf: int, n_spine: int, hosts_per_leaf: int = 2) -> Topology:
+    """Build a Leaf-Spine fabric.
+
+    Node names: ``leaf-<i>``, ``spine-<j>``, ``host-<leaf>-<h>``.
+    """
+    if n_leaf < 2 or n_spine < 2:
+        raise TopologyError("leaf-spine needs at least 2 leaves and 2 spines")
+    topo = Topology(
+        f"leaf-spine-{n_leaf}x{n_spine}",
+        params={
+            "n_leaf": n_leaf,
+            "n_spine": n_spine,
+            "hosts_per_leaf": hosts_per_leaf,
+            "family": "leaf-spine",
+        },
+    )
+    for j in range(n_spine):
+        topo.add_node(Node(f"spine-{j}", NodeKind.SPINE, pod=0, position=j))
+    for i in range(n_leaf):
+        topo.add_node(Node(f"leaf-{i}", NodeKind.LEAF, pod=0, position=i))
+        for h in range(hosts_per_leaf):
+            host = topo.add_node(
+                Node(f"host-{i}-{h}", NodeKind.HOST, pod=0, position=h)
+            )
+            topo.add_link(host.name, f"leaf-{i}", LinkKind.HOST)
+    for i in range(n_leaf):
+        for j in range(n_spine):
+            topo.add_link(f"leaf-{i}", f"spine-{j}", LinkKind.LEAF_SPINE)
+    return topo

@@ -1,0 +1,65 @@
+"""VL2 topology (Greenberg et al., SIGCOMM 2009; paper §V / Fig 7(b)).
+
+VL2 is a 3-layer Clos: ``d_i`` aggregation switches connect in full
+bipartite to ``d_a/2`` intermediate (core) switches, and every ToR has two
+uplinks to two *adjacent* aggregation switches.  The denser agg↔intermediate
+mesh means a downward intermediate→agg failure *does* have immediate
+ECMP backups — but the paper observes that the **agg→ToR** downward links
+still have none (each ToR is reachable from a given agg by exactly one
+link), so those failures still wait on control-plane convergence.  The
+F²Tree adaptation rings the aggregation layer.
+
+Node names: ``int-<m>``, ``agg-<j>``, ``tor-<t>``, ``host-<t>-<h>``.
+All aggregation switches share pod 0 (one ring); intermediates share pod 0
+of their own kind.
+"""
+
+from __future__ import annotations
+
+from .graph import LinkKind, Node, NodeKind, Topology, TopologyError
+
+
+def vl2(d_a: int, d_i: int, hosts_per_tor: int = 2) -> Topology:
+    """Build a VL2 fabric from ``d_a``-port agg and ``d_i``-port
+    intermediate switches.
+
+    Following the VL2 paper: ``d_a/2`` intermediates, ``d_i`` aggregation
+    switches, ``d_a * d_i / 4`` ToRs, each ToR dual-homed to aggregation
+    switches ``2t mod d_i`` and ``(2t+1) mod d_i``.
+    """
+    if d_a < 4 or d_a % 2 or d_i < 2 or d_i % 2:
+        raise TopologyError(f"invalid VL2 degrees d_a={d_a}, d_i={d_i}")
+    n_int = d_a // 2
+    n_agg = d_i
+    n_tor = d_a * d_i // 4
+
+    topo = Topology(
+        f"vl2-{d_a}x{d_i}",
+        params={
+            "d_a": d_a,
+            "d_i": d_i,
+            "hosts_per_tor": hosts_per_tor,
+            "family": "vl2",
+        },
+    )
+    for m in range(n_int):
+        topo.add_node(Node(f"int-{m}", NodeKind.INTERMEDIATE, pod=0, position=m))
+    for j in range(n_agg):
+        topo.add_node(Node(f"agg-{j}", NodeKind.AGG, pod=0, position=j))
+    for t in range(n_tor):
+        topo.add_node(Node(f"tor-{t}", NodeKind.TOR, pod=0, position=t))
+        for h in range(hosts_per_tor):
+            host = topo.add_node(Node(f"host-{t}-{h}", NodeKind.HOST, pod=0, position=h))
+            topo.add_link(host.name, f"tor-{t}", LinkKind.HOST)
+
+    for j in range(n_agg):
+        for m in range(n_int):
+            topo.add_link(f"agg-{j}", f"int-{m}", LinkKind.AGG_CORE)
+
+    for t in range(n_tor):
+        first = (2 * t) % n_agg
+        second = (2 * t + 1) % n_agg
+        topo.add_link(f"tor-{t}", f"agg-{first}", LinkKind.TOR_AGG)
+        topo.add_link(f"tor-{t}", f"agg-{second}", LinkKind.TOR_AGG)
+
+    return topo

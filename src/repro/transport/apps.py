@@ -1,0 +1,177 @@
+"""Reusable TCP applications built on the transport layer.
+
+* :class:`PacedTcpSender` — the paper's testbed TCP flow: the application
+  offers a 1448-byte segment every 100 us (§III), so throughput collapse
+  is visible as delayed delivery rather than congestion-window artifacts.
+* :class:`TcpSinkServer` — accepts connections and logs delivery times
+  (the receiver side of Fig 2(b)'s throughput plot).
+* :class:`RequestResponseServer` / :func:`issue_request` — the
+  partition-aggregate building block (§IV-B): a small request, a fixed-size
+  response, completion timing at the requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..dataplane.node import HostNode
+from ..net.ip import IPv4Address
+from ..sim.engine import Simulator
+from ..sim.units import Time, microseconds
+from .tcp import TcpConnection, TcpListener, TcpParams, TcpStack
+
+
+class TcpSinkServer:
+    """Accepts connections on a port and records (time, bytes) deliveries."""
+
+    def __init__(self, sim: Simulator, host: HostNode, port: int) -> None:
+        self.sim = sim
+        self.deliveries: List[Tuple[Time, int]] = []
+        self.listener = TcpListener(sim, host, port, self._accept)
+
+    def _accept(self, connection: TcpConnection) -> None:
+        connection.on_data = self._on_data
+
+    def _on_data(self, connection: TcpConnection, newly: int) -> None:
+        self.deliveries.append((self.sim.now, newly))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n for _, n in self.deliveries)
+
+
+class PacedTcpSender:
+    """Offers ``segment_bytes`` to a TCP connection every ``interval``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostNode,
+        dst: IPv4Address,
+        dport: int,
+        segment_bytes: int = 1448,
+        interval: Time = microseconds(100),
+        params: Optional[TcpParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = TcpStack(sim, host, params)
+        self.dst = dst
+        self.dport = dport
+        self.segment_bytes = segment_bytes
+        self.interval = interval
+        self.offered = 0
+        self.connection: Optional[TcpConnection] = None
+        self._stop_at: Optional[Time] = None
+        self._running = False
+
+    def start(self, at: Time, stop_at: Optional[Time] = None) -> None:
+        self._stop_at = stop_at
+        self.sim.schedule_at(at, self._begin)
+
+    def _begin(self) -> None:
+        self.connection = self.stack.open(self.dst, self.dport)
+        self._running = True
+        self._tick()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self._stop_at is not None and self.sim.now >= self._stop_at:
+            self._running = False
+            return
+        assert self.connection is not None
+        self.connection.send(self.segment_bytes)
+        self.offered += self.segment_bytes
+        self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+
+@dataclass
+class RequestOutcome:
+    """Timing of one request/response exchange."""
+
+    started_at: Time
+    completed_at: Optional[Time] = None
+    failed: bool = False
+
+    @property
+    def completion_time(self) -> Optional[Time]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class RequestResponseServer:
+    """Replies to every ``request_bytes``-request with ``response_bytes``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostNode,
+        port: int,
+        request_bytes: int = 64,
+        response_bytes: int = 2048,
+        params: Optional[TcpParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.requests_served = 0
+        self.listener = TcpListener(sim, host, port, self._accept, params)
+        self._pending: dict[int, int] = {}  # connection id -> bytes seen
+
+    def _accept(self, connection: TcpConnection) -> None:
+        self._pending[id(connection)] = 0
+        connection.on_data = self._on_data
+
+    def _on_data(self, connection: TcpConnection, newly: int) -> None:
+        key = id(connection)
+        self._pending[key] = self._pending.get(key, 0) + newly
+        while self._pending[key] >= self.request_bytes:
+            self._pending[key] -= self.request_bytes
+            self.requests_served += 1
+            connection.send(self.response_bytes)
+
+
+def issue_request(
+    sim: Simulator,
+    stack: TcpStack,
+    server_ip: IPv4Address,
+    server_port: int,
+    request_bytes: int = 64,
+    response_bytes: int = 2048,
+    on_complete: Optional[Callable[[RequestOutcome], None]] = None,
+    params: Optional[TcpParams] = None,
+) -> RequestOutcome:
+    """Open a connection, send a request, await the full response.
+
+    The returned outcome's ``completed_at`` is filled in when the last
+    response byte arrives in order (the paper measures completion as all
+    responses received).
+    """
+    outcome = RequestOutcome(started_at=sim.now)
+    received = 0
+
+    connection = stack.open(server_ip, server_port, params)
+    connection.send(request_bytes)
+
+    def on_data(conn: TcpConnection, newly: int) -> None:
+        nonlocal received
+        received += newly
+        if received >= response_bytes and outcome.completed_at is None:
+            outcome.completed_at = sim.now
+            conn.close()
+            if on_complete is not None:
+                on_complete(outcome)
+
+    def on_failure(conn: TcpConnection) -> None:
+        outcome.failed = True
+        if on_complete is not None:
+            on_complete(outcome)
+
+    connection.on_data = on_data
+    connection.on_failure = on_failure
+    return outcome

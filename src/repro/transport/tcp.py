@@ -1,0 +1,529 @@
+"""A compact TCP implementation (the Linux-stack stand-in).
+
+The paper's TCP-level results are dominated by retransmission timing: a
+200 ms initial/minimum RTO that doubles on repeated loss (§III explains the
+fat tree's 700 ms throughput collapse as 60 ms detection + one 200 ms RTO
+that retransmits into the still-broken network + a doubled 400 ms RTO).
+This model implements the pieces that matter for that behaviour and for the
+partition-aggregate workload of §IV-B:
+
+* three-way handshake with SYN retransmission,
+* byte-counting sliding window (we track counts, not payload bytes),
+* cumulative ACKs, out-of-order reassembly, duplicate-ACK detection,
+* RFC 6298 RTT estimation with 200 ms minimum RTO and exponential backoff
+  (Karn's rule: no RTT samples from retransmitted segments),
+* IW10 slow start, AIMD congestion avoidance, fast retransmit /
+  NewReno-style fast recovery.
+
+Deliberate simplifications (documented for reviewers): immediate ACKs (no
+delayed-ACK timer — DCN kernels run quickack in these regimes and none of
+the reproduced results depend on a 40 ms delayed ACK), no SACK (dup-ACK +
+RTO recovery reproduces the paper's timing), no FIN teardown (experiment
+connections are discarded, not closed), unlimited receive window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dataplane.node import HostNode, NetworkNode
+from ..net.ip import IPv4Address
+from ..net.packet import PROTO_TCP, Packet, WIRE_OVERHEAD
+from ..sim.engine import Simulator, Timer
+from ..sim.units import Time, milliseconds, seconds
+
+FLAG_SYN = 0x1
+FLAG_ACK = 0x2
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """The TCP header fields we model (carried as packet payload)."""
+
+    seq: int
+    ack: int
+    flags: int
+    length: int  # data bytes covered by this segment
+
+    @property
+    def seq_end(self) -> int:
+        return self.seq + self.length + (1 if self.flags & FLAG_SYN else 0)
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Transport constants (defaults per the paper's environment)."""
+
+    mss: int = 1448
+    initial_cwnd_segments: int = 10  # IW10, Linux default of the era
+    rto_initial: Time = milliseconds(200)
+    rto_min: Time = milliseconds(200)
+    rto_max: Time = seconds(60)
+    dupack_threshold: int = 3
+    max_retries: int = 15
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    FAILED = "failed"
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection.
+
+    Application interface: :meth:`send` queues bytes; ``on_data(conn, n)``
+    fires as in-order bytes are delivered; ``on_established(conn)`` fires
+    when the handshake completes; ``on_all_acked(conn)`` fires whenever the
+    send queue fully drains (request/response apps key off this).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostNode,
+        local_port: int,
+        remote_ip: IPv4Address,
+        remote_port: int,
+        params: Optional[TcpParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.params = params or TcpParams()
+
+        self.state = TcpState.CLOSED
+        # ---- send side (sequence space: SYN occupies 0, data starts at 1)
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._app_bytes = 0  # total bytes the application has queued
+        self.cwnd = self.params.mss * self.params.initial_cwnd_segments
+        self.ssthresh = 1 << 30
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover_point = 0
+        #: cwnd validation (RFC 2861): grow cwnd only when it was the
+        #: binding constraint — an app-limited paced flow keeps IW
+        self._cwnd_limited = False
+        #: highest sequence ever sent (for retransmission accounting and
+        #: Karn timing after a go-back-N rollback)
+        self._snd_max = 0
+        # ---- RTT estimation (RFC 6298)
+        self._srtt: Optional[Time] = None
+        self._rttvar: Time = 0
+        self.rto: Time = self.params.rto_initial
+        self._timed_seq: Optional[int] = None  # seq_end being timed
+        self._timed_at: Time = 0
+        # ---- retransmission
+        self._rto_timer = Timer(sim, self._on_rto)
+        self._retries = 0
+        # ---- receive side
+        self.rcv_nxt = 0
+        self._ooo: List[Tuple[int, int]] = []  # disjoint [start, end) ranges
+        self.bytes_delivered = 0
+        # ---- app callbacks
+        self.on_established: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_data: Optional[Callable[["TcpConnection", int], None]] = None
+        self.on_all_acked: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_failure: Optional[Callable[["TcpConnection"], None]] = None
+        # ---- stats
+        self.segments_sent = 0
+        self.segments_retransmitted = 0
+        self.rto_fires = 0
+        self.fast_retransmits = 0
+        self.opened_at: Time = 0
+        #: internal plumbing hook run once on close (port release)
+        self._on_close: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def send_limit(self) -> int:
+        """Highest sequence number the app has made sendable (exclusive)."""
+        return 1 + self._app_bytes
+
+    @property
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def connect(self) -> None:
+        """Client side: start the three-way handshake."""
+        if self.state is not TcpState.CLOSED:
+            raise RuntimeError(f"connect() in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self.opened_at = self.sim.now
+        self._transmit(TcpSegment(seq=0, ack=0, flags=FLAG_SYN, length=0))
+        self.snd_nxt = 1
+        self._arm_rto()
+
+    def send(self, n_bytes: int) -> None:
+        """Queue ``n_bytes`` of application data for transmission."""
+        if n_bytes <= 0:
+            raise ValueError(f"cannot send {n_bytes} bytes")
+        self._app_bytes += n_bytes
+        if self.state is TcpState.ESTABLISHED:
+            self._try_send()
+
+    def close(self) -> None:
+        """Discard the connection (no FIN exchange; see module docstring)."""
+        self.state = TcpState.CLOSED
+        self._rto_timer.cancel()
+        if self._on_close is not None:
+            self._on_close()
+            self._on_close = None
+
+    # ----------------------------------------------------------- wire level
+
+    def _transmit(self, segment: TcpSegment, retransmission: bool = False) -> None:
+        packet = Packet(
+            src=self.host.ip,
+            dst=self.remote_ip,
+            protocol=PROTO_TCP,
+            size_bytes=segment.length + WIRE_OVERHEAD,
+            sport=self.local_port,
+            dport=self.remote_port,
+            payload=segment,
+            created_at=self.sim.now,
+        )
+        self.segments_sent += 1
+        if retransmission:
+            self.segments_retransmitted += 1
+        self.host.send(packet)
+
+    def _send_ack(self) -> None:
+        self._transmit(
+            TcpSegment(seq=self.snd_nxt, ack=self.rcv_nxt, flags=FLAG_ACK, length=0)
+        )
+
+    def _try_send(self) -> None:
+        """Send as much data as the window allows (from ``snd_nxt``, which
+        an RTO may have rolled back for go-back-N recovery)."""
+        while (
+            self.snd_nxt < self.send_limit
+            and self.flight_size < self.cwnd
+        ):
+            length = min(self.params.mss, self.send_limit - self.snd_nxt)
+            segment = TcpSegment(
+                seq=self.snd_nxt, ack=self.rcv_nxt, flags=FLAG_ACK, length=length
+            )
+            is_retransmission = segment.seq_end <= self._snd_max
+            self._transmit(segment, retransmission=is_retransmission)
+            if self._timed_seq is None and not is_retransmission:
+                self._timed_seq = segment.seq_end
+                self._timed_at = self.sim.now
+            self.snd_nxt += length
+            self._snd_max = max(self._snd_max, self.snd_nxt)
+            if not self._rto_timer.armed:
+                self._arm_rto()
+        if self.snd_nxt < self.send_limit and self.flight_size >= self.cwnd:
+            self._cwnd_limited = True
+
+    def _retransmit_head(self) -> None:
+        """Retransmit one segment starting at ``snd_una``."""
+        if self.state is TcpState.SYN_SENT:
+            self._transmit(
+                TcpSegment(seq=0, ack=0, flags=FLAG_SYN, length=0),
+                retransmission=True,
+            )
+            return
+        if self.state is TcpState.SYN_RECEIVED:
+            self._transmit(
+                TcpSegment(seq=0, ack=self.rcv_nxt, flags=FLAG_SYN | FLAG_ACK, length=0),
+                retransmission=True,
+            )
+            return
+        length = min(self.params.mss, self.send_limit - self.snd_una)
+        if length <= 0:
+            return
+        self._transmit(
+            TcpSegment(
+                seq=self.snd_una, ack=self.rcv_nxt, flags=FLAG_ACK, length=length
+            ),
+            retransmission=True,
+        )
+        # Karn's algorithm: a timed segment that gets retransmitted must
+        # not produce an RTT sample
+        if self._timed_seq is not None and self._timed_seq <= self.snd_una + length:
+            self._timed_seq = None
+
+    # ------------------------------------------------------------ timers
+
+    def _arm_rto(self) -> None:
+        self._rto_timer.start(self.rto)
+
+    def _on_rto(self) -> None:
+        self.rto_fires += 1
+        self._retries += 1
+        if self._retries > self.params.max_retries:
+            self.state = TcpState.FAILED
+            if self.on_failure is not None:
+                self.on_failure(self)
+            return
+        self.rto = min(self.rto * 2, self.params.rto_max)
+        if self.state is TcpState.ESTABLISHED:
+            # go-back-N: treat all outstanding data as lost, roll snd_nxt
+            # back and slow-start from the head (classic post-RTO behaviour;
+            # segments the receiver had buffered are skipped over by the
+            # jumping cumulative ACKs)
+            self.ssthresh = max(self.flight_size // 2, 2 * self.params.mss)
+            self.cwnd = self.params.mss
+            self._in_recovery = False
+            self._dupacks = 0
+            self._timed_seq = None  # Karn: no samples across a timeout
+            self.snd_nxt = self.snd_una
+            self._try_send()
+        else:
+            self._retransmit_head()
+        self._arm_rto()
+
+    def _fresh_rto(self) -> Time:
+        """RTO recomputed from the smoothed estimate (backoff reset)."""
+        if self._srtt is None:
+            return self.params.rto_initial
+        candidate = self._srtt + max(4 * self._rttvar, milliseconds(1))
+        return min(max(candidate, self.params.rto_min), self.params.rto_max)
+
+    def _sample_rtt(self, ack: int) -> None:
+        if self._timed_seq is None or ack < self._timed_seq:
+            return
+        sample = self.sim.now - self._timed_at
+        self._timed_seq = None
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample // 2
+        else:
+            delta = abs(self._srtt - sample)
+            self._rttvar = (3 * self._rttvar + delta) // 4
+            self._srtt = (7 * self._srtt + sample) // 8
+        self.rto = self._fresh_rto()
+
+    # ----------------------------------------------------------- reception
+
+    def handle_segment(self, segment: TcpSegment) -> None:
+        """Process one incoming segment (called by the demux layer)."""
+        if self.state is TcpState.CLOSED or self.state is TcpState.FAILED:
+            return
+        if self.state is TcpState.SYN_SENT:
+            if segment.flags & FLAG_SYN and segment.flags & FLAG_ACK and segment.ack >= 1:
+                self.snd_una = 1
+                self.rcv_nxt = segment.seq_end
+                self.state = TcpState.ESTABLISHED
+                self._retries = 0
+                self.rto = self._fresh_rto()
+                self._rto_timer.cancel()
+                self._send_ack()
+                if self.on_established is not None:
+                    self.on_established(self)
+                self._try_send()
+            return
+        if self.state is TcpState.SYN_RECEIVED:
+            if segment.flags & FLAG_ACK and segment.ack >= 1:
+                self.snd_una = max(self.snd_una, 1)
+                self.state = TcpState.ESTABLISHED
+                self._retries = 0
+                self._rto_timer.cancel()
+                if self.on_established is not None:
+                    self.on_established(self)
+                # fall through: the third packet may carry data
+            else:
+                return
+
+        if segment.flags & FLAG_ACK:
+            self._process_ack(segment)
+        if segment.length > 0:
+            self._process_data(segment)
+
+    def _process_ack(self, segment: TcpSegment) -> None:
+        ack = segment.ack
+        if ack > max(self.snd_nxt, self._snd_max):
+            return  # acks data we never sent; ignore
+        if ack > self.snd_una:
+            newly = ack - self.snd_una
+            self.snd_una = ack
+            if self.snd_nxt < ack:
+                # a go-back-N rollback was overtaken by an ACK for data the
+                # receiver had buffered: resume sending from the ACK point
+                self.snd_nxt = ack
+            self._retries = 0
+            self._dupacks = 0
+            self._sample_rtt(ack)
+            self.rto = self._fresh_rto()
+            if self._in_recovery:
+                if ack >= self._recover_point:
+                    self.cwnd = self.ssthresh
+                    self._in_recovery = False
+                else:
+                    # NewReno partial ACK: the next hole is lost too
+                    self._retransmit_head()
+            elif self._cwnd_limited:
+                # RFC 2861-style validation: only grow when cwnd was the
+                # binding constraint (app-limited flows keep their window)
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += newly  # slow start
+                else:
+                    self.cwnd += max(
+                        1, self.params.mss * self.params.mss // self.cwnd
+                    )
+                self._cwnd_limited = False
+            if self.flight_size > 0:
+                self._arm_rto()
+            else:
+                self._rto_timer.cancel()
+                if (
+                    self.snd_una >= self.send_limit
+                    and self.on_all_acked is not None
+                ):
+                    self.on_all_acked(self)
+            self._try_send()
+        elif (
+            ack == self.snd_una
+            and self.flight_size > 0
+            and segment.length == 0
+            and not segment.flags & FLAG_SYN
+        ):
+            self._dupacks += 1
+            if self._dupacks == self.params.dupack_threshold and not self._in_recovery:
+                self.fast_retransmits += 1
+                self.ssthresh = max(self.flight_size // 2, 2 * self.params.mss)
+                self._recover_point = self.snd_nxt
+                self._in_recovery = True
+                self._retransmit_head()
+                self.cwnd = self.ssthresh + 3 * self.params.mss
+            elif self._in_recovery:
+                self.cwnd += self.params.mss  # window inflation
+                self._try_send()
+
+    def _process_data(self, segment: TcpSegment) -> None:
+        start, end = segment.seq, segment.seq + segment.length
+        if end <= self.rcv_nxt:
+            self._send_ack()  # fully old: re-ack
+            return
+        if start > self.rcv_nxt:
+            self._insert_ooo(start, end)
+            self._send_ack()  # duplicate ACK signalling the hole
+            return
+        advanced_to = end
+        # absorb any out-of-order ranges made contiguous
+        merged = True
+        while merged:
+            merged = False
+            for index, (s, e) in enumerate(self._ooo):
+                if s <= advanced_to:
+                    advanced_to = max(advanced_to, e)
+                    del self._ooo[index]
+                    merged = True
+                    break
+        newly = advanced_to - self.rcv_nxt
+        self.rcv_nxt = advanced_to
+        self.bytes_delivered += newly
+        self._send_ack()
+        if self.on_data is not None:
+            self.on_data(self, newly)
+
+    def _insert_ooo(self, start: int, end: int) -> None:
+        ranges = self._ooo + [(start, end)]
+        ranges.sort()
+        merged: List[Tuple[int, int]] = []
+        for s, e in ranges:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        self._ooo = merged
+
+
+class TcpListener:
+    """A passive endpoint accepting connections on a port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostNode,
+        port: int,
+        on_connection: Callable[[TcpConnection], None],
+        params: Optional[TcpParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.params = params or TcpParams()
+        self.on_connection = on_connection
+        self.connections: Dict[Tuple[int, int], TcpConnection] = {}
+        host.register_handler(PROTO_TCP, port, self._on_packet)
+
+    def _on_packet(self, packet: Packet, node: NetworkNode) -> None:
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment):
+            return
+        key = (packet.src.value, packet.sport)
+        connection = self.connections.get(key)
+        if connection is None:
+            if not (segment.flags & FLAG_SYN) or segment.flags & FLAG_ACK:
+                return  # no connection and not a fresh SYN: drop
+            connection = TcpConnection(
+                self.sim, self.host, self.port, packet.src, packet.sport, self.params
+            )
+            connection.state = TcpState.SYN_RECEIVED
+            connection.rcv_nxt = segment.seq_end
+            connection.snd_nxt = 1
+            connection.opened_at = self.sim.now
+            self.connections[key] = connection
+            self.on_connection(connection)
+            connection._transmit(
+                TcpSegment(seq=0, ack=connection.rcv_nxt, flags=FLAG_SYN | FLAG_ACK, length=0)
+            )
+            connection._arm_rto()
+            return
+        connection.handle_segment(segment)
+
+    def close(self) -> None:
+        for connection in self.connections.values():
+            connection.close()
+        self.connections.clear()
+        self.host.unregister_handler(PROTO_TCP, self.port)
+
+
+class TcpStack:
+    """Per-host client-side plumbing: ephemeral ports and demux."""
+
+    _EPHEMERAL_BASE = 33000
+
+    def __init__(self, sim: Simulator, host: HostNode, params: Optional[TcpParams] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.params = params or TcpParams()
+        self._next_port = self._EPHEMERAL_BASE
+
+    def open(
+        self,
+        remote_ip: IPv4Address,
+        remote_port: int,
+        params: Optional[TcpParams] = None,
+    ) -> TcpConnection:
+        """Create (and start connecting) a client connection."""
+        # the host may run several stacks (workload + background traffic):
+        # probe the host's demux for a genuinely free port
+        port = self._next_port
+        while self.host.port_in_use(PROTO_TCP, port):
+            port += 1
+        self._next_port = port + 1
+        connection = TcpConnection(
+            self.sim, self.host, port, remote_ip, remote_port,
+            params or self.params,
+        )
+
+        def dispatch(packet: Packet, node: NetworkNode) -> None:
+            segment = packet.payload
+            if isinstance(segment, TcpSegment):
+                connection.handle_segment(segment)
+
+        self.host.register_handler(PROTO_TCP, port, dispatch)
+        connection._on_close = lambda: self.host.unregister_handler(PROTO_TCP, port)
+        connection.connect()
+        return connection

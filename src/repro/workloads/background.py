@@ -1,0 +1,108 @@
+"""Background traffic (§IV-B).
+
+"The flow sizes and inter-arrival intervals of the background traffic obey
+the log-normal distribution derived from real operational DCNs [25]" —
+Benson et al. measured heavy-tailed, mostly-small flows.  We draw sizes and
+inter-arrivals from log-normals with configurable arithmetic means (the
+paper's run: 1500 flows over 600 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dataplane.network import Network
+from ..dataplane.node import HostNode
+from ..sim.randomness import RandomStreams, lognormal_from_mean_sigma
+from ..sim.units import Time
+from ..transport.apps import TcpSinkServer
+from ..transport.tcp import TcpConnection, TcpParams, TcpStack
+
+#: well-known port every host's bulk sink listens on
+SINK_PORT = 5001
+
+
+@dataclass
+class BackgroundFlow:
+    """One background transfer."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    started_at: Time
+    completed_at: Optional[Time] = None
+
+
+class BackgroundTraffic:
+    """Log-normal background flows between random host pairs."""
+
+    def __init__(
+        self,
+        network: Network,
+        streams: RandomStreams,
+        mean_flow_bytes: int = 50_000,
+        size_sigma: float = 1.5,
+        gap_sigma: float = 1.0,
+        tcp_params: Optional[TcpParams] = None,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.rng = streams.stream("background")
+        self.mean_flow_bytes = mean_flow_bytes
+        self.size_sigma = size_sigma
+        self.gap_sigma = gap_sigma
+        self.tcp_params = tcp_params or TcpParams()
+        self.flows: List[BackgroundFlow] = []
+        self._stacks: Dict[str, TcpStack] = {}
+        self._sinks = [
+            TcpSinkServer(self.sim, host, SINK_PORT) for host in network.hosts()
+        ]
+        self._hosts = network.hosts()
+
+    def schedule(self, n_flows: int, start: Time, horizon: Time) -> None:
+        """Draw ``n_flows`` start times over [start, start + horizon)."""
+        mean_gap = horizon / n_flows
+        t = float(start)
+        for _ in range(n_flows):
+            t += lognormal_from_mean_sigma(self.rng, mean_gap, self.gap_sigma)
+            at = round(t)
+            if at >= start + horizon:
+                at = start + horizon - 1
+            self.sim.schedule_at(at, self._launch_flow)
+
+    def _stack_of(self, host: HostNode) -> TcpStack:
+        stack = self._stacks.get(host.name)
+        if stack is None:
+            stack = TcpStack(self.sim, host, self.tcp_params)
+            self._stacks[host.name] = stack
+        return stack
+
+    def _launch_flow(self) -> None:
+        src = self._hosts[self.rng.randrange(len(self._hosts))]
+        dst = src
+        while dst.name == src.name:
+            dst = self._hosts[self.rng.randrange(len(self._hosts))]
+        size = max(
+            1448,
+            round(
+                lognormal_from_mean_sigma(
+                    self.rng, self.mean_flow_bytes, self.size_sigma
+                )
+            ),
+        )
+        flow = BackgroundFlow(src.name, dst.name, size, self.sim.now)
+        self.flows.append(flow)
+        connection = self._stack_of(src).open(dst.ip, SINK_PORT)
+        connection.send(size)
+
+        def on_all_acked(conn: TcpConnection) -> None:
+            if flow.completed_at is None:
+                flow.completed_at = self.sim.now
+                conn.close()
+
+        connection.on_all_acked = on_all_acked
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for f in self.flows if f.completed_at is not None)

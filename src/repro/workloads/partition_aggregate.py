@@ -1,0 +1,115 @@
+"""Partition-aggregate workload (§IV-B).
+
+"We randomly pick some end hosts, each of which sends a small TCP single
+request to each of 8 other end hosts, and waits for a 2KB response from
+each machine" — the classic front-end DCN pattern [24].  A request
+completes when **all** fan-out responses have arrived; completion times are
+scored against the 250 ms deadline [23].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dataplane.network import Network
+from ..dataplane.node import HostNode
+from ..metrics.requests import RequestRecord, RequestStats
+from ..sim.randomness import RandomStreams
+from ..sim.units import Time
+from ..transport.apps import RequestOutcome, RequestResponseServer, issue_request
+from ..transport.tcp import TcpParams, TcpStack
+
+#: well-known port every host's worker server listens on
+WORKER_PORT = 5000
+
+
+class PartitionAggregateWorkload:
+    """Generates fan-out request/response traffic over a network."""
+
+    def __init__(
+        self,
+        network: Network,
+        streams: RandomStreams,
+        n_requests: int,
+        fanout: int = 8,
+        request_bytes: int = 64,
+        response_bytes: int = 2048,
+        tcp_params: Optional[TcpParams] = None,
+    ) -> None:
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.network = network
+        self.sim = network.sim
+        self.rng = streams.stream("partition-aggregate")
+        self.n_requests = n_requests
+        self.fanout = fanout
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.tcp_params = tcp_params or TcpParams()
+        self.stats = RequestStats()
+        self._stacks: Dict[str, TcpStack] = {}
+        self._servers: List[RequestResponseServer] = []
+
+        hosts = network.hosts()
+        if len(hosts) < fanout + 1:
+            raise ValueError(
+                f"need at least {fanout + 1} hosts, have {len(hosts)}"
+            )
+        self._hosts = hosts
+        for host in hosts:
+            self._servers.append(
+                RequestResponseServer(
+                    self.sim, host, WORKER_PORT,
+                    request_bytes=request_bytes,
+                    response_bytes=response_bytes,
+                    params=self.tcp_params,
+                )
+            )
+
+    def schedule(self, start: Time, horizon: Time) -> None:
+        """Spread ``n_requests`` Poisson-style over [start, start+horizon)."""
+        mean_gap = horizon / self.n_requests
+        t = float(start)
+        for _ in range(self.n_requests):
+            t += self.rng.expovariate(1.0 / mean_gap)
+            at = round(t)
+            if at >= start + horizon:
+                at = start + horizon - 1
+            self.sim.schedule_at(at, self._launch_request)
+
+    def _stack_of(self, host: HostNode) -> TcpStack:
+        stack = self._stacks.get(host.name)
+        if stack is None:
+            stack = TcpStack(self.sim, host, self.tcp_params)
+            self._stacks[host.name] = stack
+        return stack
+
+    def _launch_request(self) -> None:
+        requester = self._hosts[self.rng.randrange(len(self._hosts))]
+        workers = self.rng.sample(
+            [h for h in self._hosts if h.name != requester.name], self.fanout
+        )
+        record = RequestRecord(started_at=self.sim.now)
+        self.stats.records.append(record)
+        progress = {"remaining": self.fanout, "failed": 0}
+
+        def on_complete(outcome: RequestOutcome) -> None:
+            progress["remaining"] -= 1
+            if outcome.failed:
+                progress["failed"] += 1
+            if progress["remaining"] == 0 and progress["failed"] == 0:
+                record.completed_at = self.sim.now
+
+        stack = self._stack_of(requester)
+        for worker in workers:
+            issue_request(
+                self.sim,
+                stack,
+                worker.ip,
+                WORKER_PORT,
+                request_bytes=self.request_bytes,
+                response_bytes=self.response_bytes,
+                on_complete=on_complete,
+                params=self.tcp_params,
+            )

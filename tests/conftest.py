@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+Expensive integration artifacts (full recovery runs) are computed once per
+session and shared across the tests that assert on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.f2tree import f2tree, rewire_fat_tree_prototype
+from repro.topology.fattree import fat_tree
+
+
+@pytest.fixture(scope="session")
+def fat4():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="session")
+def fat8():
+    return fat_tree(8)
+
+
+@pytest.fixture(scope="session")
+def f2_8():
+    return f2tree(8)
+
+
+@pytest.fixture(scope="session")
+def f2_6():
+    return f2tree(6)
+
+
+@pytest.fixture(scope="session")
+def prototype4():
+    topo, plan = rewire_fat_tree_prototype(fat_tree(4))
+    return topo, plan

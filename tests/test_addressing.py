@@ -1,0 +1,115 @@
+"""Tests for the Fig 3(d) address assignment convention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ip import IPv4Address, Prefix
+from repro.topology.addressing import (
+    COVERING_PREFIX,
+    DCN_PREFIX,
+    assign_addresses,
+)
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import LinkKind, Node, NodeKind, Topology, TopologyError
+from repro.topology.leafspine import leaf_spine
+
+
+@pytest.fixture(scope="module")
+def fat4_plan():
+    topo = fat_tree(4)
+    return topo, assign_addresses(topo)
+
+
+class TestConstants:
+    def test_covering_prefix_covers_dcn_prefix(self):
+        assert COVERING_PREFIX.contains(DCN_PREFIX)
+        assert COVERING_PREFIX.length == DCN_PREFIX.length - 1
+
+
+class TestAssignment:
+    def test_first_tor_matches_figure_3d(self, fat4_plan):
+        topo, plan = fat4_plan
+        first_tor = topo.nodes_of_kind(NodeKind.TOR)[0]
+        assert plan.tor_subnets[first_tor.name] == Prefix("10.11.0.0/24")
+        assert plan.switch_ips[first_tor.name] == IPv4Address("10.11.0.1")
+
+    def test_consecutive_tor_subnets(self, fat4_plan):
+        topo, plan = fat4_plan
+        tors = topo.nodes_of_kind(NodeKind.TOR)
+        for index, tor in enumerate(tors):
+            assert plan.tor_subnets[tor.name] == Prefix(
+                IPv4Address(f"10.11.{index}.0"), 24
+            )
+
+    def test_hosts_live_inside_their_tor_subnet(self, fat4_plan):
+        topo, plan = fat4_plan
+        for tor in topo.nodes_of_kind(NodeKind.TOR):
+            subnet = plan.tor_subnets[tor.name]
+            for host in topo.host_of_tor(tor.name):
+                assert plan.host_ips[host.name] in subnet
+
+    def test_first_host_is_dot_two(self, fat4_plan):
+        topo, plan = fat4_plan
+        tor = topo.nodes_of_kind(NodeKind.TOR)[0]
+        first_host = topo.host_of_tor(tor.name)[0]
+        assert str(plan.host_ips[first_host.name]) == "10.11.0.2"
+
+    def test_all_hosts_inside_dcn_prefix(self, fat4_plan):
+        _, plan = fat4_plan
+        for ip in plan.host_ips.values():
+            assert ip in DCN_PREFIX
+
+    def test_agg_and_core_loopbacks_outside_dcn_prefix(self, fat4_plan):
+        """Backup routes must never cover switch loopbacks (§II-B)."""
+        topo, plan = fat4_plan
+        for switch in topo.nodes_of_kind(NodeKind.AGG, NodeKind.CORE):
+            ip = plan.switch_ips[switch.name]
+            assert ip not in DCN_PREFIX
+            assert ip not in COVERING_PREFIX
+
+    def test_agg_uses_10_12_cores_10_13(self, fat4_plan):
+        topo, plan = fat4_plan
+        aggs = topo.nodes_of_kind(NodeKind.AGG)
+        cores = topo.nodes_of_kind(NodeKind.CORE)
+        assert str(plan.switch_ips[aggs[0].name]) == "10.12.0.1"
+        assert str(plan.switch_ips[aggs[1].name]) == "10.12.1.1"
+        assert str(plan.switch_ips[cores[0].name]) == "10.13.0.1"
+
+    def test_addresses_are_unique(self, fat4_plan):
+        _, plan = fat4_plan
+        everything = list(plan.switch_ips.values()) + list(plan.host_ips.values())
+        assert len({ip.value for ip in everything}) == len(everything)
+
+    def test_reverse_map(self, fat4_plan):
+        _, plan = fat4_plan
+        for name, ip in plan.host_ips.items():
+            assert plan.name_of(ip) == name
+            assert plan.ip_of(name) == ip
+
+    def test_ip_of_unknown_raises(self, fat4_plan):
+        _, plan = fat4_plan
+        with pytest.raises(TopologyError):
+            plan.ip_of("ghost")
+        with pytest.raises(TopologyError):
+            plan.name_of(IPv4Address("9.9.9.9"))
+
+    def test_nodes_annotated_in_place(self):
+        topo = fat_tree(4)
+        assign_addresses(topo)
+        for tor in topo.nodes_of_kind(NodeKind.TOR):
+            assert tor.ip is not None and tor.subnet is not None
+        for host in topo.hosts():
+            assert host.ip is not None
+
+    def test_leaf_spine_leaves_get_subnets(self):
+        topo = leaf_spine(4, 2)
+        plan = assign_addresses(topo)
+        assert len(plan.tor_subnets) == 4
+
+    def test_too_many_racks_rejected(self):
+        topo = Topology("wide")
+        for i in range(255):
+            topo.add_node(Node(f"tor-{i}", NodeKind.TOR, pod=0, position=i))
+        with pytest.raises(TopologyError):
+            assign_addresses(topo)

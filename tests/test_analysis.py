@@ -1,0 +1,213 @@
+"""Tests for the analysis package: max-flow, bisection, redundancy, audit."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.auditing import PathAuditor
+from repro.analysis.bisection import (
+    bisection_bandwidth,
+    bisection_report,
+    full_bisection,
+    host_capacity,
+    rack_uplink_oversubscription,
+)
+from repro.analysis.maxflow import FlowNetwork
+from repro.analysis.redundancy import immediate_backups, profile_agg_switch
+from repro.core.f2tree import f2tree
+from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
+from repro.failures.scenarios import build_scenario
+from repro.net.packet import PROTO_UDP
+from repro.sim.units import milliseconds, seconds
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import NodeKind
+from repro.transport.udp import UdpSender, UdpSink
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 5)
+        assert net.max_flow("a", "b") == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 5)
+        net.add_edge("b", "c", 2)
+        assert net.max_flow("a", "c") == 2
+
+    def test_parallel_paths_add(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 3)
+        net.add_edge("b", "d", 3)
+        net.add_edge("a", "c", 4)
+        net.add_edge("c", "d", 4)
+        assert net.max_flow("a", "d") == 7
+
+    def test_parallel_edges_accumulate(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "b", 1)
+        assert net.max_flow("a", "b") == 2
+
+    def test_disconnected_is_zero(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1)
+        net.add_edge("c", "d", 1)
+        assert net.max_flow("a", "d") == 0
+
+    def test_same_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().max_flow("a", "a")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("a", "b", -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_agrees_with_networkx(self, n, seed):
+        graph = nx.gnp_random_graph(n, 0.5, seed=seed, directed=True)
+        ours = FlowNetwork()
+        reference = nx.DiGraph()
+        reference.add_nodes_from(range(n))
+        for u, v in graph.edges:
+            capacity = (u * 7 + v * 13) % 5 + 1
+            ours.add_edge(u, v, capacity)
+            reference.add_edge(u, v, capacity=capacity)
+        expected = nx.maximum_flow_value(reference, 0, n - 1)
+        assert ours.max_flow(0, n - 1) == pytest.approx(expected)
+
+
+class TestBisection:
+    def test_fat_tree_has_full_bisection(self, fat8):
+        """Al-Fares: the fat tree is non-blocking."""
+        assert bisection_bandwidth(fat8) == full_bisection(fat8)
+
+    def test_f2tree_keeps_full_bisection_for_its_hosts(self, f2_8):
+        """§II-D: F²Tree supports fewer hosts but those hosts still get
+        full bisection (no oversubscription introduced)."""
+        assert bisection_bandwidth(f2_8) == full_bisection(f2_8)
+
+    def test_host_pair_capacity_is_one_uplink(self, fat8):
+        src, dst = leftmost_host(fat8), rightmost_host(fat8)
+        assert host_capacity(fat8, src, dst) == 1.0
+
+    def test_rack_oversubscription_ratio(self, fat8):
+        assert rack_uplink_oversubscription(fat8, "tor-0-0") == 1.0
+
+    def test_undersubscribed_rack(self):
+        topo = fat_tree(8, hosts_per_tor=2)
+        assert rack_uplink_oversubscription(topo, "tor-0-0") == 0.5
+
+    def test_overlapping_sides_rejected(self, fat8):
+        host = leftmost_host(fat8)
+        with pytest.raises(ValueError):
+            bisection_bandwidth(fat8, [host], [host])
+
+    def test_report_covers_all(self, fat4):
+        text = bisection_report([fat4])
+        assert "fat-tree-4" in text and "100.0%" in text
+
+
+class TestRedundancy:
+    @pytest.fixture(scope="class")
+    def nets(self):
+        out = {}
+        for name, topo in (("fat", fat_tree(8)), ("f2", f2tree(8))):
+            bundle = build_bundle(topo)
+            bundle.converge()
+            out[name] = bundle
+        return out
+
+    def _profile(self, bundle):
+        topo = bundle.topology
+        pod0_aggs = topo.pod_members(NodeKind.AGG, 0)
+        agg = pod0_aggs[0].name
+        down_tor = next(
+            p for p in topo.neighbors(agg) if p.startswith("tor")
+        )
+        local_dst = topo.host_of_tor(down_tor)[0].ip
+        remote_tor = topo.nodes_of_kind(NodeKind.TOR)[-1]
+        remote_dst = topo.host_of_tor(remote_tor.name)[0].ip
+        up_peer = next(p for p in topo.neighbors(agg) if p.startswith("core"))
+        return profile_agg_switch(
+            bundle.network, agg, down_tor, local_dst, remote_dst, up_peer
+        )
+
+    def test_fat_tree_matches_section_2a(self, nets):
+        """N/2-1 = 3 upward backups, 0 downward, for N = 8."""
+        profile = self._profile(nets["fat"])
+        assert profile.downward == 0
+        assert profile.upward == 3
+
+    def test_f2tree_matches_section_2b(self, nets):
+        """N/2 = 4 upward backups (2 ECMP + 2 across), 2 downward."""
+        profile = self._profile(nets["f2"])
+        assert profile.downward == 2
+        assert profile.upward == 4
+
+    def test_backups_require_live_neighbors(self, nets):
+        bundle = nets["f2"]
+        topo = bundle.topology
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        down_tor = next(p for p in topo.neighbors(agg) if p.startswith("tor"))
+        local_dst = topo.host_of_tor(down_tor)[0].ip
+        ring = [n.name for n in topo.pod_members(NodeKind.AGG, 0)]
+        right = ring[1]
+        bundle.network.fail_link(agg, right)
+        bundle.sim.run(until=bundle.sim.now + milliseconds(100))
+        count = immediate_backups(bundle.network, agg, local_dst, down_tor)
+        assert count == 1  # only the left across neighbor survives
+
+
+class TestPathAuditor:
+    def test_clean_flow_has_no_loops(self):
+        topo = f2tree(8, hosts_per_tor=1)
+        bundle = build_bundle(topo)
+        bundle.converge()
+        auditor = PathAuditor(bundle.network, protocols=(PROTO_UDP,))
+        src, dst = leftmost_host(topo), rightmost_host(topo)
+        sink = UdpSink(bundle.sim, bundle.network.host(dst), 7000)
+        sender = UdpSender(
+            bundle.sim, bundle.network.host(src),
+            bundle.network.host(dst).ip, 7000,
+        )
+        start = bundle.sim.now
+        sender.start(at=start, stop_at=start + milliseconds(50))
+        bundle.sim.run(until=start + milliseconds(100))
+        assert auditor.packets_seen == 500
+        assert auditor.loop_ratio() == 0.0
+        assert auditor.hop_histogram() == {5: 500}
+
+    def test_c7_ping_pong_detected(self):
+        """The §II-C condition-4 bounce shows up as audited loops."""
+        topo = f2tree(8, hosts_per_tor=1)
+        bundle = build_bundle(topo)
+        bundle.converge()
+        net = bundle.network
+        src, dst = leftmost_host(topo), rightmost_host(topo)
+        path, ok = net.trace_route(src, dst, PROTO_UDP, 10000, 7000)
+        assert ok
+        scenario = build_scenario("C7", topo, path)
+        auditor = PathAuditor(net, protocols=(PROTO_UDP,))
+        start = bundle.sim.now
+        for a, b in scenario.failed:
+            net.schedule_link_failure(a, b, start + milliseconds(10))
+        sink = UdpSink(bundle.sim, net.host(dst), 7000)
+        sender = UdpSender(
+            bundle.sim, net.host(src), net.host(dst).ip, 7000, sport=10000
+        )
+        sender.start(at=start, stop_at=start + milliseconds(150))
+        bundle.sim.run(until=start + milliseconds(200))
+        assert auditor.loop_ratio() > 0
+        bounces = auditor.bounce_census()
+        agg_d = scenario.sx
+        ring = [n.name for n in topo.pod_members(NodeKind.AGG, topo.node(agg_d).pod)]
+        right1 = ring[(ring.index(agg_d) + 1) % len(ring)]
+        assert bounces[tuple(sorted((agg_d, right1)))] > 0

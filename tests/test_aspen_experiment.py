@@ -1,0 +1,49 @@
+"""Integration: the Aspen-tree baseline comparison (§VI critique)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.aspen import render_aspen_comparison, run_aspen_comparison
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_aspen_comparison()
+
+
+class TestAspenBaseline:
+    def test_four_measurements(self, rows):
+        assert len(rows) == 4
+
+    def test_aspen_parallel_link_recovers_fast(self, rows):
+        row = next(
+            r for r in rows
+            if r.topology.startswith("aspen") and "parallel" in r.failure
+        )
+        assert row.fast_recovery
+        assert 55 < row.connectivity_loss_ms < 75
+
+    def test_aspen_rack_failure_waits_for_control_plane(self, rows):
+        """The paper's §VI point: Aspen's redundancy covers only its
+        fault-tolerant layer."""
+        row = next(
+            r for r in rows
+            if r.topology.startswith("aspen") and "rack" in r.failure
+        )
+        assert not row.fast_recovery
+        assert row.connectivity_loss_ms > 250
+
+    def test_f2tree_recovers_fast_at_both_layers(self, rows):
+        for row in rows:
+            if row.topology.startswith("f2tree"):
+                assert row.fast_recovery, row.failure
+
+    def test_f2tree_supports_more_hosts_than_aspen(self, rows):
+        aspen_hosts = next(r for r in rows if r.topology.startswith("aspen")).hosts_supported
+        f2_hosts = next(r for r in rows if r.topology.startswith("f2tree")).hosts_supported
+        assert f2_hosts > aspen_hosts
+
+    def test_render(self, rows):
+        text = render_aspen_comparison(rows)
+        assert "aspen-8-f1" in text and "f2tree-8" in text

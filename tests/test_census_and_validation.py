@@ -1,0 +1,171 @@
+"""Tests for the exhaustive condition census and deployment validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.census import (
+    exhaustive_condition_census,
+    relevant_links,
+    render_census,
+)
+from repro.core.f2tree import f2tree
+from repro.core.failure_analysis import FailureCondition
+from repro.core.validation import (
+    Severity,
+    render_findings,
+    validate_deployment,
+)
+from repro.experiments.common import build_bundle
+from repro.net.fib import FibEntry
+from repro.net.ip import Prefix
+from repro.topology.graph import NodeKind
+
+
+@pytest.fixture(scope="module")
+def census_env(f2_8):
+    tor = f2_8.pod_members(NodeKind.TOR, 0)[-1].name
+    return f2_8, tor
+
+
+class TestRelevantLinks:
+    def test_counts(self, census_env):
+        topo, tor = census_env
+        links = relevant_links(topo, tor)
+        # 4 downward rack links + 4 across ring links
+        assert len(links) == 8
+
+    def test_keys_canonical(self, census_env):
+        topo, tor = census_env
+        for a, b in relevant_links(topo, tor):
+            assert a <= b
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def results(self, census_env):
+        topo, tor = census_env
+        return {k: exhaustive_condition_census(topo, tor, k) for k in (1, 2, 3)}
+
+    def test_single_failure_always_survives(self, results):
+        census = results[1]
+        assert census.degraded == 0
+        assert census.survival_ratio == 1.0
+
+    def test_two_failures_always_survive(self, results):
+        """The §II-C theorem: any <= 2 concurrent relevant failures are
+        fast-rerouted. Proven by enumeration of all 28 pairs."""
+        census = results[2]
+        assert census.total_subsets == 28
+        assert census.degraded == 0
+        assert census.survival_ratio == 1.0
+
+    def test_three_failures_can_degrade_but_rarely(self, results):
+        census = results[3]
+        assert census.degraded > 0  # the C7-style patterns exist...
+        assert census.survival_ratio > 0.75  # ...but they are the minority
+
+    def test_condition_breakdown_consistent(self, results):
+        census = results[2]
+        affected = census.total_subsets - census.unaffected
+        assert sum(census.by_condition.values()) == affected
+
+    def test_k_too_large_rejected(self, census_env):
+        topo, tor = census_env
+        with pytest.raises(ValueError):
+            exhaustive_condition_census(topo, tor, 99)
+
+    def test_render(self, results):
+        text = render_census(list(results.values()))
+        assert "survival" in text and "100.0%" in text
+
+
+class TestValidation:
+    @pytest.fixture()
+    def healthy(self):
+        topo = f2tree(6)
+        bundle = build_bundle(topo)
+        return topo, bundle.network
+
+    def test_healthy_deployment_passes(self, healthy):
+        topo, network = healthy
+        assert validate_deployment(topo, network) == []
+        assert "PASS" in render_findings([])
+
+    def test_fat_tree_passes_trivially(self):
+        """No rings, no backup expectations: nothing to flag."""
+        from repro.topology.fattree import fat_tree
+
+        topo = fat_tree(4)
+        bundle = build_bundle(topo)
+        assert validate_deployment(topo, bundle.network) == []
+
+    def test_missing_backup_routes_flagged(self):
+        from repro.dataplane.network import Network
+
+        topo = f2tree(6)
+        network = Network(topo)  # rings exist but no configuration at all
+        findings = validate_deployment(topo, network)
+        missing = [
+            f for f in findings if "no backup static routes" in f.message
+        ]
+        assert missing
+        assert all(f.severity is Severity.ERROR for f in missing)
+
+    def test_wrong_next_hop_flagged(self, healthy):
+        topo, network = healthy
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        switch = network.switch(agg)
+        # sabotage: point the /16 backup leftward instead of rightward
+        members = [n.name for n in topo.pod_members(NodeKind.AGG, 0)]
+        switch.fib.install(
+            FibEntry(Prefix("10.11.0.0/16"), (members[2],), source="static")
+        )
+        findings = validate_deployment(topo, network)
+        assert any("points at" in f.message for f in findings)
+
+    def test_non_nesting_prefixes_flagged(self, healthy):
+        topo, network = healthy
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        switch = network.switch(agg)
+        switch.fib.withdraw(Prefix("10.10.0.0/15"))
+        # a second backup that does NOT cover the first
+        members = [n.name for n in topo.pod_members(NodeKind.AGG, 0)]
+        switch.fib.install(
+            FibEntry(Prefix("10.20.0.0/15"), (members[2],), source="static")
+        )
+        findings = validate_deployment(topo, network)
+        assert any("does not cover" in f.message for f in findings)
+
+    def test_missing_ring_member_flagged(self):
+        from repro.dataplane.network import Network
+        from repro.core.backup_routes import configure_backup_routes
+        from repro.topology.graph import LinkKind
+
+        topo = f2tree(6)
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        across = [
+            l for l in topo.links_of(agg) if l.kind is LinkKind.ACROSS
+        ]
+        for link in across:
+            topo.remove_link(link)
+        network = Network(topo)
+        findings = validate_deployment(topo, network)
+        assert any("ring is incomplete" in f.message for f in findings)
+
+    def test_loopback_coverage_is_a_warning_only(self):
+        """The 4-across /13 chain covers 10.12/10.13 loopbacks — flagged
+        as a warning, not an error."""
+        topo = f2tree(10, across_ports=4)
+        bundle = build_bundle(topo)
+        findings = validate_deployment(topo, bundle.network)
+        assert findings  # the /13 covers loopbacks
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_render_lists_findings(self, healthy):
+        topo, network = healthy
+        agg = topo.pod_members(NodeKind.AGG, 0)[0].name
+        network.switch(agg).fib.withdraw(Prefix("10.11.0.0/16"))
+        findings = validate_deployment(topo, network)
+        text = render_findings(findings)
+        assert "finding" in text and agg in text

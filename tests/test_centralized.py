@@ -1,0 +1,122 @@
+"""Tests for the centralized (SDN-style) control plane (§V extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_bundle
+from repro.routing.centralized import ControllerParams
+from repro.sim.units import milliseconds, seconds
+from repro.topology.fattree import fat_tree
+
+
+@pytest.fixture()
+def centralized():
+    bundle = build_bundle(fat_tree(4), routing="centralized")
+    bundle.converge(seconds(1))
+    return bundle
+
+
+class TestBootstrap:
+    def test_all_pairs_reachable(self, centralized):
+        net = centralized.network
+        hosts = [h.name for h in net.hosts()]
+        for src in hosts[:3]:
+            for dst in hosts[-3:]:
+                if src != dst:
+                    _, ok = net.trace_route(src, dst)
+                    assert ok, (src, dst)
+
+    def test_routes_tagged_with_source(self, centralized):
+        tor = centralized.network.switch("tor-0-0")
+        sources = {e.source for e in tor.fib.entries()}
+        assert "centralized" in sources
+        assert "linkstate" not in sources
+
+    def test_ecmp_pushed(self, centralized):
+        topo = centralized.topology
+        tor = centralized.network.switch("tor-0-0")
+        remote = topo.node("tor-3-1").subnet
+        entry = tor.fib.exact(remote)
+        assert entry is not None
+        assert set(entry.next_hops) == {"agg-0-0", "agg-0-1"}
+
+    def test_controller_bootstraps_once(self, centralized):
+        assert centralized.controller is not None
+        # bootstrap pushes don't count as recomputations
+        assert centralized.controller.stats.recomputations == 0
+
+
+class TestFailureRecovery:
+    def test_recovery_time_is_detection_plus_control_loop(self):
+        """detect (60) + report (2) + batch (10) + compute (20) + push (2)
+        + FIB (10) ~= 104 ms."""
+        control = ControllerParams(
+            report_latency=milliseconds(2),
+            push_latency=milliseconds(2),
+            batching_delay=milliseconds(10),
+            computation_delay=milliseconds(20),
+        )
+        bundle = build_bundle(
+            fat_tree(4), routing="centralized", routing_options=control
+        )
+        bundle.converge(seconds(1))
+        net = bundle.network
+        t0 = net.sim.now
+        path, _ = net.trace_route("host-0-0-0", "host-3-1-1")
+        agg_d, tor_d = path[-3], path[-2]
+        net.fail_link(agg_d, tor_d)
+        net.sim.run(until=t0 + milliseconds(95))
+        _, ok = net.trace_route("host-0-0-0", "host-3-1-1")
+        assert not ok  # control loop still in flight
+        net.sim.run(until=t0 + milliseconds(130))
+        after, ok = net.trace_route("host-0-0-0", "host-3-1-1")
+        assert ok
+        assert agg_d not in after
+
+    def test_reports_batch_into_one_recomputation(self, centralized):
+        net = centralized.network
+        controller = centralized.controller
+        t0 = net.sim.now
+        net.fail_link("agg-0-0", "tor-0-0")
+        net.fail_link("agg-1-0", "tor-1-0")
+        net.sim.run(until=t0 + seconds(1))
+        # two detections, four reports (both ends), one batched recompute
+        assert controller.stats.reports_received == 4
+        assert controller.stats.recomputations == 1
+
+    def test_restore_reconverges(self, centralized):
+        net = centralized.network
+        t0 = net.sim.now
+        net.fail_link("agg-0-0", "tor-0-0")
+        net.sim.run(until=t0 + seconds(1))
+        net.restore_link("agg-0-0", "tor-0-0")
+        net.sim.run(until=t0 + seconds(2))
+        entry = net.switch("agg-0-0").fib.exact(
+            centralized.topology.node("tor-0-0").subnet
+        )
+        assert entry is not None and "tor-0-0" in entry.next_hops
+
+    def test_unaffected_switches_not_pushed(self, centralized):
+        """Pushes only go to switches whose tables change."""
+        controller = centralized.controller
+        net = centralized.network
+        t0 = net.sim.now
+        pushes_before = controller.stats.pushes_sent
+        net.fail_link("agg-0-0", "tor-0-0")
+        net.sim.run(until=t0 + seconds(1))
+        pushed = controller.stats.pushes_sent - pushes_before
+        assert 0 < pushed < len(net.switches())
+
+    def test_bad_options_type_rejected(self):
+        from repro.routing.pathvector import PathVectorParams
+
+        with pytest.raises(TypeError):
+            build_bundle(
+                fat_tree(4), routing="centralized",
+                routing_options=PathVectorParams(),
+            )
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            build_bundle(fat_tree(4), routing="pigeon")

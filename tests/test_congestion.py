@@ -1,0 +1,45 @@
+"""Integration: backup-path congestion probe (plus channel accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.link import LinkStats
+from repro.experiments.congestion import run_reroute_congestion
+
+
+class TestLinkStatsAccounting:
+    def test_utilization_math(self):
+        stats = LinkStats(busy_ns=500, max_queue_depth=3)
+        assert stats.utilization(1000) == 0.5
+        assert stats.utilization(100) == 1.0  # clamped
+
+    def test_utilization_window_validation(self):
+        with pytest.raises(ValueError):
+            LinkStats().utilization(0)
+
+
+class TestRerouteCongestion:
+    @pytest.fixture(scope="class")
+    def light(self):
+        return run_reroute_congestion(2)
+
+    @pytest.fixture(scope="class")
+    def overloaded(self):
+        return run_reroute_congestion(6)
+
+    def test_light_load_is_lossless(self, light):
+        assert light.reroute_delivery_ratio > 0.99
+        assert light.across_queue_drops == 0
+        assert not light.saturated
+
+    def test_overload_saturates_the_across_link(self, overloaded):
+        assert overloaded.saturated
+        assert overloaded.across_queue_drops > 0
+        assert overloaded.reroute_delivery_ratio < 0.9
+
+    def test_convergence_restores_full_delivery(self, overloaded):
+        assert overloaded.post_convergence_delivery_ratio > 0.99
+
+    def test_offered_rate_reported(self, light):
+        assert light.offered_mbps_per_flow == pytest.approx(231.68, rel=0.01)

@@ -1,0 +1,132 @@
+"""Unit tests for ECMP hashing and the packet model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ecmp import flow_hash, fnv1a_64, select_next_hop
+from repro.net.ip import IPv4Address
+from repro.net.packet import DEFAULT_TTL, PROTO_TCP, PROTO_UDP, Packet
+
+
+def make_flow(src=1, dst=2, proto=PROTO_UDP, sport=10, dport=20):
+    return (src, dst, proto, sport, dport)
+
+
+class TestEcmp:
+    def test_fnv_known_vector(self):
+        # standard FNV-1a 64-bit test vector
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_flow_hash_deterministic(self):
+        assert flow_hash(make_flow(), 7) == flow_hash(make_flow(), 7)
+
+    def test_salt_changes_hash(self):
+        assert flow_hash(make_flow(), 1) != flow_hash(make_flow(), 2)
+
+    def test_select_single_candidate(self):
+        assert select_next_hop(["only"], make_flow(), 0) == "only"
+
+    def test_select_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_next_hop([], make_flow(), 0)
+
+    def test_same_flow_same_choice(self):
+        candidates = ["a", "b", "c", "d"]
+        picks = {select_next_hop(candidates, make_flow(), 5) for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_flows_spread_over_candidates(self):
+        candidates = ["a", "b", "c", "d"]
+        picks = {
+            select_next_hop(candidates, make_flow(dport=dport), 5)
+            for dport in range(200)
+        }
+        assert picks == set(candidates)
+
+    def test_spread_is_roughly_uniform(self):
+        candidates = ["a", "b", "c", "d"]
+        counts = {c: 0 for c in candidates}
+        n = 2000
+        for dport in range(n):
+            counts[select_next_hop(candidates, make_flow(dport=dport), 5)] += 1
+        for count in counts.values():
+            assert 0.15 * n < count < 0.35 * n  # 25% +/- 10
+
+    def test_correlated_tuples_still_spread(self):
+        """Regression: flows whose src/dst/ports all increment together
+        (consecutive hosts opening consecutive connections) must not
+        cluster onto one ECMP member — raw FNV-1a's low bits did exactly
+        that before the avalanche finalizer."""
+        candidates = ["a", "b", "c", "d"]
+        picks = {
+            select_next_hop(
+                candidates,
+                make_flow(src=100 + i, dst=200 + i, sport=11000 + i, dport=7100 + i),
+                5,
+            )
+            for i in range(16)
+        }
+        assert len(picks) >= 3
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=4), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_choice_is_a_member(self, candidates, dport):
+        pick = select_next_hop(candidates, make_flow(dport=dport), 3)
+        assert pick in candidates
+
+
+class TestPacket:
+    def packet(self, **kw):
+        defaults = dict(
+            src=IPv4Address("10.11.0.2"),
+            dst=IPv4Address("10.11.4.2"),
+            protocol=PROTO_TCP,
+            size_bytes=1500,
+            sport=33000,
+            dport=80,
+        )
+        defaults.update(kw)
+        return Packet(**defaults)
+
+    def test_flow_key_is_five_tuple(self):
+        p = self.packet()
+        assert p.flow_key == (
+            IPv4Address("10.11.0.2").value,
+            IPv4Address("10.11.4.2").value,
+            PROTO_TCP,
+            33000,
+            80,
+        )
+
+    def test_default_ttl(self):
+        assert self.packet().ttl == DEFAULT_TTL
+
+    def test_forwarded_decrements_ttl_and_counts_hops(self):
+        p = self.packet()
+        p.forwarded()
+        p.forwarded()
+        assert p.ttl == DEFAULT_TTL - 2
+        assert p.hops == 2
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.packet(size_bytes=0)
+
+    def test_unique_uids(self):
+        assert self.packet().uid != self.packet().uid
+
+    def test_copy_changes_fields_and_uid(self):
+        p = self.packet()
+        q = p.copy(dport=443)
+        assert q.dport == 443 and q.src == p.src and q.uid != p.uid
+
+    def test_reply_skeleton_swaps_endpoints(self):
+        p = self.packet()
+        r = p.reply_skeleton()
+        assert r.src == p.dst and r.dst == p.src
+        assert r.sport == p.dport and r.dport == p.sport

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness plumbing itself."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    Bundle,
+    build_bundle,
+    full_scale,
+    hosts_left_to_right,
+    leftmost_host,
+    rightmost_host,
+)
+from repro.experiments.conditions import (
+    render_figure_five,
+    render_figure_four,
+    FigureFourRow,
+    DelayProfile,
+)
+from repro.experiments.partition_aggregate import PartitionAggregateConfig
+from repro.experiments.recovery import default_failed_links, run_recovery
+from repro.experiments.testbed import TableThreeRow, render_table_three
+from repro.failures.scenarios import build_scenario
+from repro.sim.units import seconds
+from repro.topology.fattree import fat_tree
+from repro.core.f2tree import f2tree
+
+
+class TestHostOrdering:
+    def test_numeric_not_lexicographic(self):
+        """host-0-1-10 must sort after host-0-1-9 (numeric segments)."""
+        topo = fat_tree(4)
+        ordered = hosts_left_to_right(topo)
+        assert ordered[0] == "host-0-0-0"
+        assert ordered[-1] == "host-3-1-1"
+        assert ordered == sorted(
+            ordered, key=lambda n: [int(p) for p in n.split("-")[1:]]
+        )
+
+    def test_leftmost_rightmost(self, fat8):
+        assert leftmost_host(fat8) == "host-0-0-0"
+        assert rightmost_host(fat8) == "host-7-3-3"
+
+
+class TestFullScale:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert not full_scale()
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert full_scale()
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert not full_scale()
+
+    def test_config_default_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        config = PartitionAggregateConfig.default()
+        assert config.duration == seconds(600)
+        assert config.n_requests == 3000
+        monkeypatch.delenv("REPRO_FULL_SCALE")
+        assert PartitionAggregateConfig.default().n_requests == 300
+
+
+class TestRunRecoveryArguments:
+    def test_conflicting_failure_specs_rejected(self):
+        topo = fat_tree(4)
+        with pytest.raises(ValueError):
+            run_recovery(
+                topo, "udp",
+                scenario_label="C1",
+                failed_links=[("a", "b")],
+            )
+
+    def test_default_failed_links_picks_rack_link(self):
+        path = ["h1", "tor-a", "agg-a", "core", "agg-b", "tor-b", "h2"]
+        assert default_failed_links(path) == (("agg-b", "tor-b"),)
+
+    def test_default_failed_links_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            default_failed_links(["h1", "tor", "h2"])
+
+    def test_scenario_label_end_to_end(self):
+        """run_recovery can build the scenario itself from a label."""
+        result = run_recovery(
+            f2tree(8), "udp", scenario_label="C1",
+            flow_duration=seconds(1.2), drain=seconds(0.3),
+        )
+        assert result.connectivity_loss is not None
+        assert len(result.failed_links) == 1
+
+
+class TestRenderers:
+    def test_figure_four_render(self):
+        rows = [
+            FigureFourRow("C1", "fat-tree", 270.6, 2700, 600.0),
+            FigureFourRow("C1", "f2tree", 60.1, 600, 200.0),
+        ]
+        text = render_figure_four(rows)
+        assert "C1" in text and "fat-tree" in text and "270.6" in text
+
+    def test_figure_five_render_handles_nan(self):
+        profiles = [
+            DelayProfile("C1", "fat-tree", 102.0, math.nan, 102.0, 270.6)
+        ]
+        text = render_figure_five(profiles)
+        assert "nan" in text
+
+    def test_table_three_render(self):
+        rows = {
+            "fat-tree": TableThreeRow("fat-tree", 270134, 2700, 600000),
+            "f2tree": TableThreeRow("f2tree", 60117, 600, 200000),
+        }
+        text = render_table_three(rows)
+        assert "272847" in text  # the paper's reference values in header
+        assert "270134" in text
+
+
+class TestBundle:
+    def test_converge_advances_clock(self):
+        bundle = build_bundle(fat_tree(4))
+        bundle.converge(seconds(2))
+        assert bundle.sim.now == seconds(2)
+
+    def test_default_routing_is_linkstate(self):
+        bundle = build_bundle(fat_tree(4))
+        assert bundle.routing == "linkstate"
+        assert bundle.controller is None
+
+    def test_backup_config_only_for_f2_style(self):
+        assert build_bundle(fat_tree(4)).backup_config is None
+        assert build_bundle(f2tree(6)).backup_config

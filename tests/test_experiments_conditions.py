@@ -1,0 +1,97 @@
+"""Integration: the C1-C7 condition experiments (Table IV / Fig 4 / Fig 5).
+
+For every condition the *simulated* outcome must match the *analytical*
+classification: fast reroute succeeds exactly for conditions 1-3, the
+outage equals the detection delay there, and the rerouted path is longer
+by exactly the predicted number of hops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.failure_analysis import FailureCondition
+from repro.experiments.conditions import run_condition
+from repro.experiments.recovery import reroute_delay_microseconds
+from repro.sim.units import milliseconds, seconds
+
+FAST = dict(flow_duration=seconds(1.5), drain=milliseconds(500))
+
+
+@pytest.fixture(scope="module")
+def f2_runs():
+    return {
+        label: run_condition("f2tree", label, "udp", **FAST)
+        for label in ("C1", "C2", "C3", "C4", "C5", "C6", "C7")
+    }
+
+
+@pytest.fixture(scope="module")
+def fat_runs():
+    return {
+        label: run_condition("fat-tree", label, "udp", **FAST)
+        for label in ("C1", "C4", "C5")
+    }
+
+
+class TestF2TreeConditions:
+    @pytest.mark.parametrize("label", ["C1", "C2", "C3", "C4", "C5", "C6"])
+    def test_fast_reroute_caps_outage_at_detection(self, f2_runs, label):
+        result = f2_runs[label].result
+        assert milliseconds(55) < result.connectivity_loss < milliseconds(75), label
+
+    def test_c7_degrades_to_fat_tree(self, f2_runs):
+        """Fig 4: the condition-4 scenario waits for the control plane."""
+        result = f2_runs["C7"].result
+        assert result.connectivity_loss > milliseconds(200)
+
+    @pytest.mark.parametrize("label", ["C1", "C2", "C3", "C4", "C5", "C6", "C7"])
+    def test_simulation_agrees_with_classifier(self, f2_runs, label):
+        run = f2_runs[label]
+        assert run.analysis is not None
+        assert run.analysis.condition is run.scenario.expected_condition
+        assert run.fast_rerouted == run.analysis.fast_reroute_succeeds
+
+    @pytest.mark.parametrize("label,extra", [("C1", 1), ("C4", 2), ("C5", 3), ("C6", 1)])
+    def test_reroute_path_length_matches_prediction(self, f2_runs, label, extra):
+        """The traced mid-outage path is longer by the predicted hops."""
+        run = f2_runs[label]
+        during, ok = run.result.path_during
+        assert ok, label
+        assert len(during) == len(run.result.path_before) + extra, label
+
+    @pytest.mark.parametrize("label,extra", [("C1", 1), ("C4", 2), ("C5", 3)])
+    def test_delay_bump_is_17us_per_extra_hop(self, f2_runs, label, extra):
+        """Fig 5: each extra hop adds 17 us (12 us tx + 5 us propagation)."""
+        before, during, after = reroute_delay_microseconds(f2_runs[label].result)
+        assert during == pytest.approx(before + 17 * extra, abs=4), label
+        assert after == pytest.approx(before, abs=4), label
+
+    def test_c7_ping_pong_visible_in_trace(self, f2_runs):
+        """§II-C condition 4: packets bounce on the ring (trace loops)."""
+        during, ok = f2_runs["C7"].result.path_during
+        assert not ok
+        assert len(during) > 20  # walked the bounce until the hop bound
+
+    def test_c6_reroutes_leftward(self, f2_runs):
+        run = f2_runs["C6"]
+        during, ok = run.result.path_during
+        assert ok
+        assert run.analysis.egress in during
+
+
+class TestFatTreeConditions:
+    @pytest.mark.parametrize("label", ["C1", "C4", "C5"])
+    def test_fat_tree_waits_for_control_plane(self, fat_runs, label):
+        result = fat_runs[label].result
+        assert result.connectivity_loss > milliseconds(250), label
+
+    def test_f2tree_beats_fat_tree_by_over_70_percent(self, fat_runs, f2_runs):
+        """The paper's headline 78% recovery-time reduction (C1)."""
+        fat = fat_runs["C1"].result.connectivity_loss
+        f2 = f2_runs["C1"].result.connectivity_loss
+        assert 1 - f2 / fat > 0.7
+
+    def test_across_scenarios_rejected_on_fat_tree(self):
+        with pytest.raises(ValueError):
+            run_condition("fat-tree", "C6", "udp")

@@ -1,0 +1,121 @@
+"""Integration: the §III testbed experiment (Fig 2 / Table III).
+
+These are full simulations; the assertions check the paper's *shape*:
+fat tree's outage is detection + SPF timer + FIB update (~270 ms), F²Tree's
+is detection only (~60 ms); packets lost scale with the outage; TCP
+collapse is ~3x shorter under F²Tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.recovery import reroute_delay_microseconds, run_recovery
+# alias: pytest would otherwise collect the "test*"-named import as a test
+from repro.experiments.testbed import run_testbed, testbed_topology as make_testbed
+from repro.sim.units import milliseconds, seconds
+
+
+@pytest.fixture(scope="module")
+def udp_fat():
+    return run_testbed("fat-tree", "udp")
+
+
+@pytest.fixture(scope="module")
+def udp_f2():
+    return run_testbed("f2tree", "udp")
+
+
+@pytest.fixture(scope="module")
+def tcp_fat():
+    return run_testbed("fat-tree", "tcp")
+
+
+@pytest.fixture(scope="module")
+def tcp_f2():
+    return run_testbed("f2tree", "tcp")
+
+
+class TestUdpRecovery:
+    def test_fat_tree_loss_is_detection_plus_spf_plus_fib(self, udp_fat):
+        """Paper: 272.8 ms (60 detect + 200 SPF + 10 FIB + flooding)."""
+        assert milliseconds(255) < udp_fat.connectivity_loss < milliseconds(300)
+
+    def test_f2tree_loss_is_detection_only(self, udp_f2):
+        """Paper: 60.6 ms."""
+        assert milliseconds(55) < udp_f2.connectivity_loss < milliseconds(70)
+
+    def test_reduction_is_about_78_percent(self, udp_fat, udp_f2):
+        reduction = 1 - udp_f2.connectivity_loss / udp_fat.connectivity_loss
+        assert 0.70 < reduction < 0.85
+
+    def test_packet_loss_tracks_outage(self, udp_fat, udp_f2):
+        """Paper: 4.2x fewer lost packets (1302 -> 310)."""
+        assert udp_f2.packets_lost < udp_fat.packets_lost / 3
+        # at one packet per 100 us the counts equal outage / interval
+        assert udp_fat.packets_lost == pytest.approx(
+            udp_fat.connectivity_loss / 100_000, rel=0.05
+        )
+
+    def test_flow_recovers_completely(self, udp_fat, udp_f2):
+        for result in (udp_fat, udp_f2):
+            assert result.packets_received > 0.85 * result.packets_sent
+
+    def test_fat_tree_blackholes_until_convergence(self, udp_fat):
+        path, ok = udp_fat.path_during
+        assert not ok  # mid-outage trace dead-ends at the failed link
+
+    def test_f2tree_fast_reroutes_through_across_link(self, udp_f2):
+        path, ok = udp_f2.path_during
+        assert ok
+        assert len(path) == len(udp_f2.path_before) + 1  # one extra hop
+
+    def test_both_converge_to_working_paths(self, udp_fat, udp_f2):
+        for result in (udp_fat, udp_f2):
+            path, ok = result.path_after
+            assert ok
+
+    def test_converged_path_avoids_failed_link(self, udp_fat):
+        (a, b), = udp_fat.failed_links
+        path, _ = udp_fat.path_after
+        hops = set(zip(path, path[1:]))
+        assert (a, b) not in hops and (b, a) not in hops
+
+
+class TestDelayProfile:
+    def test_f2tree_delay_bump_during_reroute(self, udp_f2):
+        """Fig 5: ~100 us -> ~117 us (one extra 17 us hop) -> ~100 us."""
+        before, during, after = reroute_delay_microseconds(udp_f2)
+        assert before == pytest.approx(102, abs=3)
+        assert during == pytest.approx(before + 17, abs=3)
+        assert after == pytest.approx(before, abs=3)
+
+
+class TestTcpCollapse:
+    def test_fat_tree_collapse_spans_two_rtos(self, tcp_fat):
+        """Paper: ~700 ms (testbed) / ~610 ms (emulation): the first RTO
+        retransmits into the black hole, the doubled one succeeds."""
+        assert milliseconds(550) <= tcp_fat.collapse_duration <= milliseconds(800)
+
+    def test_f2tree_collapse_is_one_rto(self, tcp_f2):
+        """Paper: ~220 ms: the 200 ms RTO retransmission goes through."""
+        assert milliseconds(180) <= tcp_f2.collapse_duration <= milliseconds(280)
+
+    def test_f2tree_recovers_at_least_twice_as_fast(self, tcp_fat, tcp_f2):
+        assert tcp_f2.collapse_duration < tcp_fat.collapse_duration / 2
+
+    def test_throughput_returns_to_baseline(self, tcp_f2):
+        bins = tcp_f2.throughput
+        tail = [b.bytes for b in bins[-10:]]
+        head = [b.bytes for b in bins[2:12]]
+        assert sum(tail) > 0.9 * sum(head)
+
+
+class TestTopologies:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_testbed("mesh")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            run_recovery(make_testbed("fat-tree"), transport="sctp")

@@ -1,0 +1,245 @@
+"""Tests for F²Tree construction and the prototype rewiring (§II-B, Fig 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.f2tree import (
+    across_links,
+    f2tree,
+    rewire_fat_tree_prototype,
+)
+from repro.core.scalability import f2tree_row
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import LinkKind, NodeKind, TopologyError
+
+
+class TestGeneralBuilder:
+    @pytest.mark.parametrize("ports", [6, 8, 10, 12])
+    def test_host_count_matches_table_one(self, ports):
+        """Construction and Table I closed form are independent; they must
+        agree: N^3/4 - N^2 + N hosts."""
+        topo = f2tree(ports)
+        assert len(topo.hosts()) == f2tree_row(ports).nodes
+
+    @pytest.mark.parametrize("ports", [6, 8, 10, 12])
+    def test_switch_count_matches_table_one(self, ports):
+        topo = f2tree(ports)
+        assert len(topo.switches()) == f2tree_row(ports).switches
+
+    @pytest.mark.parametrize("ports", [6, 8])
+    def test_port_budget_never_exceeded(self, ports):
+        topo = f2tree(ports)
+        for switch in topo.switches():
+            assert topo.degree(switch.name) <= ports, switch.name
+
+    def test_agg_and_core_use_exactly_two_across_ports(self, f2_8):
+        for switch in f2_8.nodes_of_kind(NodeKind.AGG, NodeKind.CORE):
+            across = [
+                l
+                for l in f2_8.links_of(switch.name)
+                if l.kind is LinkKind.ACROSS
+            ]
+            assert len(across) == 2, switch.name
+
+    def test_tors_have_no_across_links(self, f2_8):
+        for tor in f2_8.nodes_of_kind(NodeKind.TOR):
+            assert all(
+                l.kind is not LinkKind.ACROSS for l in f2_8.links_of(tor.name)
+            )
+
+    def test_agg_pod_forms_a_ring(self, f2_8):
+        """N/2 aggs per pod ringed in position order, wrapping."""
+        for pod in f2_8.pods_of_kind(NodeKind.AGG):
+            members = f2_8.pod_members(NodeKind.AGG, pod)
+            n = len(members)
+            assert n == 4
+            for i, member in enumerate(members):
+                right = members[(i + 1) % n]
+                assert any(
+                    l.kind is LinkKind.ACROSS
+                    for l in f2_8.links_between(member.name, right.name)
+                )
+
+    def test_core_groups_form_rings(self, f2_8):
+        for group in f2_8.pods_of_kind(NodeKind.CORE):
+            members = f2_8.pod_members(NodeKind.CORE, group)
+            assert len(members) == 3
+            for i, member in enumerate(members):
+                right = members[(i + 1) % len(members)]
+                assert any(
+                    l.kind is LinkKind.ACROSS
+                    for l in f2_8.links_between(member.name, right.name)
+                )
+
+    def test_pod_and_core_group_counts(self, f2_8):
+        assert len(f2_8.pods_of_kind(NodeKind.AGG)) == 6  # N - 2
+        assert len(f2_8.pods_of_kind(NodeKind.CORE)) == 4  # N / 2
+
+    def test_immediate_backup_links_downward(self, f2_8):
+        """§II-B: each downward link gains exactly 2 immediate backups
+        (the two across links of the switch above it)."""
+        agg = "agg-0-0"
+        across = [
+            l for l in f2_8.links_of(agg) if l.kind is LinkKind.ACROSS
+        ]
+        assert len(across) == 2
+
+    def test_six_port_matches_figure_three(self, f2_6):
+        # Fig 3: 6-port F2Tree with 3 aggs per pod, 2 ToRs per pod
+        assert len(f2_6.pod_members(NodeKind.AGG, 0)) == 3
+        assert len(f2_6.pod_members(NodeKind.TOR, 0)) == 2
+        assert len(f2_6.pods_of_kind(NodeKind.AGG)) == 4
+        assert len(f2_6.hosts()) == 24  # N^3/4 - N^2 + N = 24
+
+    def test_connected(self, f2_8):
+        assert len(f2_8.connected_component("host-0-0-0")) == len(f2_8.nodes)
+
+    def test_three_member_ring_has_single_links(self, f2_6):
+        """A ring of 3 must not double-link any pair."""
+        members = f2_6.pod_members(NodeKind.AGG, 0)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                across = [
+                    l
+                    for l in f2_6.links_between(a.name, b.name)
+                    if l.kind is LinkKind.ACROSS
+                ]
+                assert len(across) == 1
+
+    def test_rejects_four_ports(self):
+        """N=4 cannot form core rings; the testbed prototype covers it."""
+        with pytest.raises(TopologyError):
+            f2tree(4)
+
+    def test_rejects_odd_ports(self):
+        with pytest.raises(TopologyError):
+            f2tree(7)
+
+    def test_rejects_too_many_hosts(self):
+        with pytest.raises(TopologyError):
+            f2tree(8, hosts_per_tor=5)
+
+
+class TestFourAcrossExtension:
+    def test_builds_with_distance_two_links(self):
+        topo = f2tree(8, across_ports=4)
+        # pods = N - 4 = 4; agg ring of 4 gets right/left plus one
+        # opposite link (distance 2 coincides in a ring of 4)
+        members = topo.pod_members(NodeKind.AGG, 0)
+        assert len(members) == 4
+        opposite = [
+            l
+            for l in topo.links_between(members[0].name, members[2].name)
+            if l.kind is LinkKind.ACROSS
+        ]
+        assert len(opposite) == 1
+
+    def test_port_budget_still_respected(self):
+        topo = f2tree(8, across_ports=4)
+        for switch in topo.switches():
+            assert topo.degree(switch.name) <= 8
+
+    def test_host_formula_generalizes(self):
+        # N(N-r)^2/4 with r = 4
+        topo = f2tree(8, across_ports=4)
+        assert len(topo.hosts()) == 8 * (8 - 4) ** 2 // 4
+
+    def test_odd_across_rejected(self):
+        with pytest.raises(TopologyError):
+            f2tree(8, across_ports=3)
+
+
+class TestPrototypeRewiring:
+    def test_returns_both_topology_and_plan(self, prototype4):
+        topo, plan = prototype4
+        assert topo.params["family"] == "f2tree-prototype"
+        assert plan.links_touched > 0
+
+    def test_each_agg_and_core_rewires_two_links(self, prototype4):
+        """The title claim: rewiring 2 links per agg/core switch."""
+        topo, plan = prototype4
+        for switch in topo.nodes_of_kind(NodeKind.AGG, NodeKind.CORE):
+            assert plan.rewired_links_of(switch.name) == 2, switch.name
+
+    def test_one_unsupported_tor_per_pod(self, prototype4):
+        _, plan = prototype4
+        assert len(plan.unsupported_tors) == 4
+        assert sorted(plan.unsupported_tors) == [
+            f"tor-{pod}-0" for pod in range(4)
+        ]
+
+    def test_port_budget(self, prototype4):
+        topo, _ = prototype4
+        for switch in topo.switches():
+            assert topo.degree(switch.name) <= 4, switch.name
+
+    def test_agg_pairs_get_double_across_link(self, prototype4):
+        topo, _ = prototype4
+        for pod in range(4):
+            across = [
+                l
+                for l in topo.links_between(f"agg-{pod}-0", f"agg-{pod}-1")
+                if l.kind is LinkKind.ACROSS
+            ]
+            assert len(across) == 2
+
+    def test_core_pairs_get_double_across_link(self, prototype4):
+        topo, _ = prototype4
+        for group in range(2):
+            across = [
+                l
+                for l in topo.links_between(f"core-{group}-0", f"core-{group}-1")
+                if l.kind is LinkKind.ACROSS
+            ]
+            assert len(across) == 2
+
+    def test_every_agg_keeps_exactly_one_uplink(self, prototype4):
+        topo, _ = prototype4
+        for agg in topo.nodes_of_kind(NodeKind.AGG):
+            uplinks = [
+                l
+                for l in topo.links_of(agg.name)
+                if l.kind is LinkKind.AGG_CORE
+            ]
+            assert len(uplinks) == 1, agg.name
+
+    def test_every_core_keeps_two_pod_links(self, prototype4):
+        topo, _ = prototype4
+        for core in topo.nodes_of_kind(NodeKind.CORE):
+            downlinks = [
+                l
+                for l in topo.links_of(core.name)
+                if l.kind is LinkKind.AGG_CORE
+            ]
+            assert len(downlinks) == 2, core.name
+
+    def test_remaining_tors_keep_both_uplinks(self, prototype4):
+        topo, _ = prototype4
+        for pod in range(4):
+            uplinks = [
+                l
+                for l in topo.links_of(f"tor-{pod}-1")
+                if l.kind is LinkKind.TOR_AGG
+            ]
+            assert len(uplinks) == 2
+
+    def test_still_fully_connected(self, prototype4):
+        topo, _ = prototype4
+        hosts = topo.hosts()
+        component = topo.connected_component(hosts[0].name)
+        assert len(component) == len(topo.nodes)
+
+    def test_unsupported_hosts_removed(self, prototype4):
+        topo, _ = prototype4
+        # 4 pods x 1 ToR x 2 hosts remain
+        assert len(topo.hosts()) == 8
+
+    def test_rejects_non_4port_input(self):
+        with pytest.raises(TopologyError):
+            rewire_fat_tree_prototype(fat_tree(8))
+
+    def test_across_links_helper(self, prototype4):
+        topo, _ = prototype4
+        # 4 agg pods x 2 + 2 core groups x 2 = 12 across links
+        assert len(across_links(topo)) == 12

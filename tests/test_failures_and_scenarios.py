@@ -1,0 +1,219 @@
+"""Tests for failure injection and the Table IV scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.failure_analysis import FailureCondition
+from repro.failures.injector import (
+    FailureEvent,
+    RandomFailurePattern,
+    concurrency_profile,
+    fabric_links,
+    generate_random_failures,
+    paper_failure_pattern,
+    schedule_failures,
+)
+from repro.failures.scenarios import (
+    ALL_LABELS,
+    FAT_TREE_LABELS,
+    build_scenario,
+    all_scenarios,
+    render_table_four,
+)
+from repro.dataplane.network import Network
+from repro.sim.randomness import RandomStreams
+from repro.sim.units import milliseconds, seconds
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import NodeKind, TopologyError
+
+
+class TestInjector:
+    def test_event_key_is_canonical(self):
+        assert FailureEvent(0, "b", "a").key == ("a", "b")
+
+    def test_schedule_failures_executes(self, fat4):
+        net = Network(fat4)
+        events = [
+            FailureEvent(milliseconds(5), "tor-0-0", "agg-0-0", milliseconds(20))
+        ]
+        schedule_failures(net, events)
+        net.sim.run(until=milliseconds(10))
+        assert not net.link_between("tor-0-0", "agg-0-0").actually_up
+        net.sim.run(until=milliseconds(30))
+        assert net.link_between("tor-0-0", "agg-0-0").actually_up
+
+    def test_restore_before_failure_rejected(self, fat4):
+        net = Network(fat4)
+        with pytest.raises(ValueError):
+            schedule_failures(
+                net, [FailureEvent(100, "tor-0-0", "agg-0-0", restore_at=50)]
+            )
+
+    def test_fabric_links_exclude_hosts(self, fat4):
+        links = fabric_links(fat4)
+        assert links
+        assert not any("host" in a or "host" in b for a, b in links)
+        # fat tree 4: 16 tor-agg + 16 agg-core
+        assert len(links) == 32
+
+
+class TestRandomFailures:
+    def test_generation_is_deterministic(self, fat8):
+        pattern = paper_failure_pattern(1)
+        a = generate_random_failures(fat8, pattern, seconds(600), RandomStreams(9))
+        b = generate_random_failures(fat8, pattern, seconds(600), RandomStreams(9))
+        assert a == b
+
+    def test_calibration_count_near_forty(self, fat8):
+        pattern = paper_failure_pattern(1)
+        events = generate_random_failures(
+            fat8, pattern, seconds(600), RandomStreams(4)
+        )
+        assert 20 <= len(events) <= 70  # ~40 +/- noise
+
+    def test_concurrency_calibration(self, fat8):
+        pattern = paper_failure_pattern(5)
+        events = generate_random_failures(
+            fat8, pattern, seconds(600), RandomStreams(4)
+        )
+        count, concurrency = concurrency_profile(events, seconds(600))
+        assert 60 <= count <= 160  # ~100
+        assert 2.0 <= concurrency <= 9.0  # ~5
+
+    def test_no_link_fails_twice_concurrently(self, fat8):
+        pattern = RandomFailurePattern(
+            mean_gap=seconds(1), mean_duration=seconds(30)
+        )
+        events = generate_random_failures(
+            fat8, pattern, seconds(300), RandomStreams(11)
+        )
+        down_until: dict = {}
+        for event in sorted(events, key=lambda e: e.at):
+            assert down_until.get(event.key, 0) <= event.at
+            down_until[event.key] = event.restore_at
+        assert events
+
+    def test_all_events_inside_horizon(self, fat8):
+        events = generate_random_failures(
+            fat8, paper_failure_pattern(1), seconds(600), RandomStreams(2),
+            start=seconds(3),
+        )
+        assert all(seconds(3) <= e.at < seconds(603) for e in events)
+
+    def test_expected_concurrency_property(self):
+        pattern = RandomFailurePattern(mean_gap=100, mean_duration=500)
+        assert pattern.expected_concurrency == 5.0
+
+    def test_generic_concurrency_pattern(self):
+        pattern = paper_failure_pattern(3)
+        assert pattern.mean_duration > pattern.mean_gap
+
+
+@pytest.fixture(scope="module")
+def planned(f2_8):
+    """A converged F²Tree-8 and the traced flow path for scenario building."""
+    from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
+    from repro.net.packet import PROTO_UDP
+
+    bundle = build_bundle(f2_8)
+    bundle.converge()
+    path, ok = bundle.network.trace_route(
+        leftmost_host(f2_8), rightmost_host(f2_8), PROTO_UDP, 10001, 7000
+    )
+    assert ok
+    return f2_8, path
+
+
+class TestScenarios:
+    def test_all_labels_buildable(self, planned):
+        topo, path = planned
+        scenarios = all_scenarios(topo, path)
+        assert [s.label for s in scenarios] == list(ALL_LABELS)
+
+    def test_c1_fails_the_rack_link(self, planned):
+        topo, path = planned
+        s = build_scenario("C1", topo, path)
+        assert len(s.failed) == 1
+        agg_d, tor_d = path[-3], path[-2]
+        assert s.failed[0] == tuple(sorted((agg_d, tor_d)))
+        assert s.expected_condition is FailureCondition.CONDITION_1
+
+    def test_c2_fails_the_core_link(self, planned):
+        topo, path = planned
+        s = build_scenario("C2", topo, path)
+        core, agg_d = path[-4], path[-3]
+        assert s.failed[0] == tuple(sorted((core, agg_d)))
+        assert s.sx == core
+
+    def test_c3_is_c1_plus_c2(self, planned):
+        topo, path = planned
+        c1 = build_scenario("C1", topo, path)
+        c2 = build_scenario("C2", topo, path)
+        c3 = build_scenario("C3", topo, path)
+        assert set(c3.failed) == set(c1.failed) | set(c2.failed)
+
+    def test_c4_fails_two_adjacent(self, planned):
+        topo, path = planned
+        s = build_scenario("C4", topo, path)
+        assert len(s.failed) == 2
+        assert s.expected_condition is FailureCondition.CONDITION_2
+        assert s.expected_extra_hops == 2
+
+    def test_c5_spares_only_the_left_neighbor(self, planned):
+        topo, path = planned
+        s = build_scenario("C5", topo, path)
+        agg_d = path[-3]
+        ring = topo.pod_members(NodeKind.AGG, topo.node(agg_d).pod)
+        assert len(s.failed) == len(ring) - 1
+        assert s.expected_extra_hops == len(ring) - 1
+
+    def test_c6_kills_the_right_across_link(self, planned):
+        topo, path = planned
+        s = build_scenario("C6", topo, path)
+        assert s.expected_condition is FailureCondition.CONDITION_3
+        assert len(s.failed) == 2
+
+    def test_c7_expects_reroute_failure(self, planned):
+        topo, path = planned
+        s = build_scenario("C7", topo, path)
+        assert s.expected_condition is FailureCondition.CONDITION_4
+        assert s.expected_extra_hops is None
+        assert len(s.failed) == 3
+
+    def test_fat_tree_labels_exclude_across_scenarios(self):
+        assert "C6" not in FAT_TREE_LABELS
+        assert "C7" not in FAT_TREE_LABELS
+        assert set(FAT_TREE_LABELS) < set(ALL_LABELS)
+
+    def test_scenarios_classify_as_predicted(self, planned):
+        """The scenario table's condition column must agree with the
+        independent classifier of repro.core.failure_analysis."""
+        from repro.core.failure_analysis import analyze_scenario
+
+        topo, path = planned
+        for s in all_scenarios(topo, path):
+            analysis = analyze_scenario(
+                topo, s.sx, s.dest_tor, frozenset(s.failed)
+            )
+            assert analysis.condition is s.expected_condition, s.label
+            # C3 reroutes at two layers: the classifier sees 1 extra hop at
+            # the agg ring, the scenario's total path cost is 2
+            expected = 1 if s.label == "C3" else s.expected_extra_hops
+            assert analysis.extra_hops == expected, s.label
+
+    def test_unknown_label_rejected(self, planned):
+        topo, path = planned
+        with pytest.raises(ValueError):
+            build_scenario("C99", topo, path)
+
+    def test_short_path_rejected(self, planned):
+        topo, _ = planned
+        with pytest.raises(TopologyError):
+            build_scenario("C1", topo, ["a", "b", "c"])
+
+    def test_render_table_four(self, planned):
+        topo, path = planned
+        text = render_table_four(all_scenarios(topo, path))
+        for label in ALL_LABELS:
+            assert label in text

@@ -1,0 +1,138 @@
+"""Unit tests for the IPv4 address/prefix model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import AddressError, IPv4Address, Prefix
+
+
+class TestIPv4Address:
+    def test_parse_dotted(self):
+        assert IPv4Address("10.11.0.1").value == (10 << 24) | (11 << 16) | 1
+
+    def test_str_roundtrip(self):
+        assert str(IPv4Address("192.168.3.45")) == "192.168.3.45"
+
+    def test_from_int(self):
+        assert str(IPv4Address(0x0A0B0001)) == "10.11.0.1"
+
+    def test_copy_constructor(self):
+        a = IPv4Address("1.2.3.4")
+        assert IPv4Address(a) == a
+
+    def test_ordering_matches_integer_order(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("9.255.255.255") < IPv4Address("10.0.0.0")
+
+    def test_addition(self):
+        assert IPv4Address("10.0.0.1") + 255 == IPv4Address("10.0.1.0")
+
+    def test_hashable(self):
+        assert len({IPv4Address("1.1.1.1"), IPv4Address("1.1.1.1")}) == 1
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_str_parse_roundtrip(self, value):
+        assert IPv4Address(str(IPv4Address(value))).value == value
+
+
+class TestPrefix:
+    def test_parse_cidr(self):
+        p = Prefix("10.11.0.0/16")
+        assert p.length == 16
+        assert str(p) == "10.11.0.0/16"
+
+    def test_host_bits_zeroed(self):
+        assert str(Prefix("10.11.3.7/16")) == "10.11.0.0/16"
+
+    def test_contains_address(self):
+        p = Prefix("10.11.0.0/16")
+        assert p.contains(IPv4Address("10.11.200.3"))
+        assert "10.11.0.1" in p
+        assert not p.contains(IPv4Address("10.12.0.1"))
+
+    def test_contains_prefix_nesting(self):
+        covering = Prefix("10.10.0.0/15")
+        dcn = Prefix("10.11.0.0/16")
+        assert covering.contains(dcn)
+        assert not dcn.contains(covering)
+        assert dcn.contains(dcn)
+
+    def test_supernet_is_the_paper_covering_prefix(self):
+        assert Prefix("10.11.0.0/16").supernet() == Prefix("10.10.0.0/15")
+
+    def test_supernet_chain_nests(self):
+        p = Prefix("10.11.0.0/16")
+        chain = [p]
+        for _ in range(3):
+            chain.append(chain[-1].supernet())
+        for shorter, longer in zip(chain[1:], chain):
+            assert shorter.contains(longer)
+
+    def test_zero_length_prefix_contains_everything(self):
+        assert Prefix("0.0.0.0/0").contains(IPv4Address("255.255.255.255"))
+
+    def test_slash32_contains_only_itself(self):
+        p = Prefix("10.0.0.5/32")
+        assert p.contains("10.0.0.5")
+        assert not p.contains("10.0.0.4")
+
+    def test_address_indexing(self):
+        p = Prefix("10.11.2.0/24")
+        assert str(p.address(1)) == "10.11.2.1"
+        with pytest.raises(AddressError):
+            p.address(256)
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(Prefix("10.0.0.0/29").hosts())
+        assert str(hosts[0]) == "10.0.0.1"
+        assert str(hosts[-1]) == "10.0.0.6"
+        assert len(hosts) == 6
+
+    def test_num_addresses(self):
+        assert Prefix("10.0.0.0/24").num_addresses == 256
+        assert Prefix("10.0.0.0/15").num_addresses == 1 << 17
+
+    def test_equality_and_hash(self):
+        assert Prefix("10.0.0.0/8") == Prefix("10.255.1.2/8")
+        assert len({Prefix("10.0.0.0/8"), Prefix("10.1.0.0/8")}) == 1
+
+    @pytest.mark.parametrize("bad_len", [-1, 33])
+    def test_bad_length_rejected(self, bad_len):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0", bad_len)
+
+    def test_length_required(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0")
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_prefix_contains_its_own_network(self, value, length):
+        p = Prefix(IPv4Address(value), length)
+        assert p.contains(p.network_address)
+        assert p.contains(p.address(p.num_addresses - 1))
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_supernet_always_contains(self, value, length):
+        p = Prefix(IPv4Address(value), length)
+        assert p.supernet().contains(p)

@@ -1,0 +1,183 @@
+"""Tests for the runtime link: serialization, queues, failure detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.link import RuntimeLink
+from repro.dataplane.params import NetworkParams
+from repro.net.ip import IPv4Address
+from repro.net.packet import PROTO_UDP, Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import microseconds, milliseconds
+from repro.topology.graph import Link as LinkSpec, LinkKind
+
+
+class FakeNode:
+    """Minimal NetworkNode stand-in recording receptions and detections."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ip = IPv4Address("10.0.0.1")
+        self.received: list = []
+        self.adjacency_events: list = []
+
+    def receive(self, packet, sender):
+        self.received.append((packet, sender))
+
+    def on_adjacency_change(self, link, up):
+        self.adjacency_events.append((up,))
+
+
+def make_link(params=None):
+    sim = Simulator()
+    a, b = FakeNode("a"), FakeNode("b")
+    spec = LinkSpec(0, "a", "b", LinkKind.TOR_AGG)
+    link = RuntimeLink(sim, params or NetworkParams(), spec, a, b)
+    return sim, a, b, link
+
+
+def probe(size=1500):
+    return Packet(
+        src=IPv4Address("10.0.0.1"),
+        dst=IPv4Address("10.0.0.2"),
+        protocol=PROTO_UDP,
+        size_bytes=size,
+    )
+
+
+class TestChannelTiming:
+    def test_delivery_delay_is_tx_plus_propagation(self):
+        """1500 B @ 1 Gbps + 5 us propagation = 17 us (the paper's hop)."""
+        sim, a, b, link = make_link()
+        link.channel_from("a").enqueue(probe())
+        sim.run()
+        assert b.received
+        assert sim.now == microseconds(17)
+
+    def test_back_to_back_packets_serialize(self):
+        sim, a, b, link = make_link()
+        channel = link.channel_from("a")
+        channel.enqueue(probe())
+        channel.enqueue(probe())
+        sim.run()
+        assert len(b.received) == 2
+        # second packet waits 12 us behind the first, arriving at 29 us
+        assert sim.now == microseconds(29)
+
+    def test_directions_are_independent(self):
+        sim, a, b, link = make_link()
+        link.channel_from("a").enqueue(probe())
+        link.channel_from("b").enqueue(probe())
+        sim.run()
+        assert len(a.received) == 1 and len(b.received) == 1
+        assert sim.now == microseconds(17)  # no shared serialization
+
+    def test_queue_overflow_drops(self):
+        params = NetworkParams(queue_capacity=4)
+        sim, a, b, link = make_link(params)
+        channel = link.channel_from("a")
+        results = [channel.enqueue(probe()) for _ in range(8)]
+        assert results.count(True) == 4
+        assert channel.stats.dropped_queue == 4
+        sim.run()
+        assert len(b.received) == 4
+
+    def test_stats_track_sent_and_delivered(self):
+        sim, a, b, link = make_link()
+        channel = link.channel_from("a")
+        channel.enqueue(probe())
+        sim.run()
+        assert channel.stats.sent == 1
+        assert channel.stats.delivered == 1
+
+
+class TestFailureSemantics:
+    def test_enqueue_on_failed_link_silently_drops(self):
+        sim, a, b, link = make_link()
+        link.fail()
+        assert not link.channel_from("a").enqueue(probe())
+        sim.run()
+        assert b.received == []
+        assert link.channel_from("a").stats.dropped_down == 1
+
+    def test_in_flight_packets_lost_on_failure(self):
+        sim, a, b, link = make_link()
+        link.channel_from("a").enqueue(probe())
+        sim.schedule(microseconds(1), link.fail)
+        sim.run()
+        assert b.received == []
+
+    def test_restore_allows_traffic_again(self):
+        sim, a, b, link = make_link()
+        link.fail()
+        link.restore()
+        link.channel_from("a").enqueue(probe())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_fail_is_idempotent(self):
+        sim, a, b, link = make_link()
+        link.fail()
+        link.fail()
+        link.restore()
+        assert link.actually_up
+
+    def test_endpoint_queries_rejected_for_strangers(self):
+        sim, a, b, link = make_link()
+        with pytest.raises(ValueError):
+            link.channel_from("stranger")
+        with pytest.raises(ValueError):
+            link.other("stranger")
+
+
+class TestDetection:
+    def test_failure_detected_after_delay(self):
+        sim, a, b, link = make_link()
+        sim.schedule(milliseconds(1), link.fail)
+        sim.run(until=milliseconds(30))
+        # not yet detected: 60 ms default
+        assert link.detected_up_by("a")
+        sim.run(until=milliseconds(62))
+        assert not link.detected_up_by("a")
+        assert not link.detected_up_by("b")
+        assert a.adjacency_events == [(False,)]
+        assert b.adjacency_events == [(False,)]
+
+    def test_black_hole_window(self):
+        """Between failure and detection, senders still enqueue (and lose)."""
+        sim, a, b, link = make_link()
+        sim.schedule(milliseconds(1), link.fail)
+        sim.run(until=milliseconds(10))
+        assert link.detected_up_by("a")  # sender believes it's up...
+        link.channel_from("a").enqueue(probe())  # ...and loses the packet
+        sim.run(until=milliseconds(20))
+        assert b.received == []
+
+    def test_recovery_detected_after_up_delay(self):
+        sim, a, b, link = make_link()
+        sim.schedule(milliseconds(1), link.fail)
+        sim.schedule(milliseconds(100), link.restore)
+        # up-detection takes another 60 ms after the restore
+        sim.run(until=milliseconds(170))
+        assert link.detected_up_by("a")
+        assert a.adjacency_events == [(False,), (True,)]
+
+    def test_short_flap_never_reported(self):
+        """An outage shorter than the detection delay is invisible — like
+        a BFD session that never misses enough hellos."""
+        sim, a, b, link = make_link()
+        sim.schedule(milliseconds(1), link.fail)
+        sim.schedule(milliseconds(10), link.restore)  # < 60 ms detection
+        sim.run(until=milliseconds(200))
+        assert link.detected_up_by("a")
+        assert a.adjacency_events == []
+
+    def test_custom_detection_delay(self):
+        params = NetworkParams(
+            detection_delay=milliseconds(5), up_detection_delay=milliseconds(5)
+        )
+        sim, a, b, link = make_link(params)
+        sim.schedule(0, link.fail)
+        sim.run(until=milliseconds(6))
+        assert not link.detected_up_by("a")

@@ -1,0 +1,163 @@
+"""Tests for the LSDB and the ECMP SPF computation.
+
+The SPF is cross-validated against networkx's shortest paths on random
+connected graphs: distances must match, and our first-hop sets must be
+exactly the first hops of all shortest paths.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.ip import Prefix
+from repro.routing.lsdb import Lsa, Lsdb
+from repro.routing.spf import compute_routes
+
+
+def lsa(origin, neighbors, prefixes=(), seq=1):
+    return Lsa(
+        origin=origin,
+        seq=seq,
+        neighbors=tuple(neighbors),
+        prefixes=tuple(Prefix(p) for p in prefixes),
+    )
+
+
+class TestLsdb:
+    def test_insert_new(self):
+        db = Lsdb()
+        assert db.insert(lsa("a", ["b"]))
+        assert db.get("a") is not None
+        assert len(db) == 1
+
+    def test_stale_rejected(self):
+        db = Lsdb()
+        db.insert(lsa("a", ["b"], seq=5))
+        assert not db.insert(lsa("a", ["c"], seq=4))
+        assert not db.insert(lsa("a", ["c"], seq=5))
+        assert db.get("a").neighbors == ("b",)
+
+    def test_fresher_replaces(self):
+        db = Lsdb()
+        db.insert(lsa("a", ["b"], seq=1))
+        assert db.insert(lsa("a", ["c"], seq=2))
+        assert db.get("a").neighbors == ("c",)
+
+    def test_two_way_check(self):
+        """A link is usable only when both ends advertise it."""
+        db = Lsdb()
+        db.insert(lsa("a", ["b", "c"]))
+        db.insert(lsa("b", ["a"]))
+        db.insert(lsa("c", []))  # c does not confirm a
+        assert list(db.two_way_neighbors("a")) == ["b"]
+
+    def test_two_way_unknown_origin(self):
+        assert list(Lsdb().two_way_neighbors("ghost")) == []
+
+
+class TestComputeRoutes:
+    def build_db(self, edges, prefixes):
+        db = Lsdb()
+        nodes = {n for e in edges for n in e}
+        adj = {n: [] for n in nodes}
+        for a, b in edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        for n in nodes:
+            db.insert(lsa(n, adj[n], prefixes.get(n, ())))
+        return db
+
+    def test_line_topology(self):
+        db = self.build_db(
+            [("a", "b"), ("b", "c")], {"c": ["10.11.0.0/24"]}
+        )
+        routes = compute_routes("a", db)
+        assert routes[Prefix("10.11.0.0/24")] == ("b",)
+
+    def test_ecmp_first_hops(self):
+        # diamond: a-b-d and a-c-d are equal cost
+        db = self.build_db(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            {"d": ["10.11.0.0/24"]},
+        )
+        routes = compute_routes("a", db)
+        assert routes[Prefix("10.11.0.0/24")] == ("b", "c")
+
+    def test_shorter_path_beats_ecmp(self):
+        db = self.build_db(
+            [("a", "b"), ("b", "d"), ("a", "d")],
+            {"d": ["10.11.0.0/24"]},
+        )
+        routes = compute_routes("a", db)
+        assert routes[Prefix("10.11.0.0/24")] == ("d",)
+
+    def test_own_prefixes_excluded(self):
+        db = self.build_db(
+            [("a", "b")], {"a": ["10.11.0.0/24"], "b": ["10.11.1.0/24"]}
+        )
+        routes = compute_routes("a", db)
+        assert Prefix("10.11.0.0/24") not in routes
+        assert Prefix("10.11.1.0/24") in routes
+
+    def test_unreachable_prefix_absent(self):
+        db = Lsdb()
+        db.insert(lsa("a", []))
+        db.insert(lsa("z", [], ["10.11.0.0/24"]))
+        assert compute_routes("a", db) == {}
+
+    def test_unknown_origin_empty(self):
+        assert compute_routes("ghost", Lsdb()) == {}
+
+    def test_anycast_nearest_wins(self):
+        db = self.build_db(
+            [("a", "b"), ("b", "c")],
+            {"b": ["10.11.0.0/24"], "c": ["10.11.0.0/24"]},
+        )
+        routes = compute_routes("a", db)
+        assert routes[Prefix("10.11.0.0/24")] == ("b",)
+
+    def test_one_way_link_unused(self):
+        db = Lsdb()
+        db.insert(lsa("a", ["b"]))
+        db.insert(lsa("b", [], ["10.11.0.0/24"]))  # b doesn't confirm a
+        assert compute_routes("a", db) == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=1_000_000),
+)
+def test_spf_matches_networkx_on_random_graphs(n, seed):
+    graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+    if not nx.is_connected(graph):
+        # connect components deterministically
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+
+    db = Lsdb()
+    for node in graph.nodes:
+        db.insert(
+            lsa(
+                f"n{node}",
+                [f"n{peer}" for peer in graph.neighbors(node)],
+                [f"10.11.{node}.0/24"],
+            )
+        )
+    origin = "n0"
+    routes = compute_routes(origin, db)
+
+    lengths = nx.single_source_shortest_path_length(graph, 0)
+    for node in graph.nodes:
+        if node == 0:
+            continue
+        prefix = Prefix(f"10.11.{node}.0/24")
+        assert prefix in routes
+        expected_first_hops = {
+            f"n{path[1]}"
+            for path in nx.all_shortest_paths(graph, 0, node)
+        }
+        assert set(routes[prefix]) == expected_first_hops

@@ -1,0 +1,86 @@
+"""Tests for the Network container (build, failures, switch failure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.network import Network
+from repro.net.fib import LOCAL
+from repro.sim.units import milliseconds
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import NodeKind, TopologyError
+
+
+@pytest.fixture()
+def net(fat4):
+    return Network(fat4)
+
+
+class TestBuild:
+    def test_all_nodes_materialized(self, net, fat4):
+        assert set(net.nodes) == set(fat4.nodes)
+
+    def test_all_links_materialized(self, net, fat4):
+        assert len(net.links) == len(fat4.links)
+
+    def test_connected_routes_installed_on_tors(self, net, fat4):
+        for tor_spec in fat4.nodes_of_kind(NodeKind.TOR):
+            tor = net.switch(tor_spec.name)
+            entry = tor.fib.exact(tor_spec.subnet)
+            assert entry is not None
+            assert entry.next_hops == (LOCAL,)
+            assert entry.source == "connected"
+
+    def test_hosts_attached_to_tor(self, net, fat4):
+        tor = net.switch("tor-0-0")
+        for host in fat4.host_of_tor("tor-0-0"):
+            assert host.ip.value in tor.local_hosts
+
+    def test_switch_host_accessors_typed(self, net):
+        with pytest.raises(TopologyError):
+            net.switch("host-0-0-0")
+        with pytest.raises(TopologyError):
+            net.host("tor-0-0")
+        with pytest.raises(TopologyError):
+            net.node("ghost")
+
+    def test_counts(self, net):
+        assert len(net.switches()) == 20
+        assert len(net.hosts()) == 16
+
+
+class TestFailures:
+    def test_fail_and_restore_link(self, net):
+        net.fail_link("tor-0-0", "agg-0-0")
+        assert not net.link_between("tor-0-0", "agg-0-0").actually_up
+        net.restore_link("tor-0-0", "agg-0-0")
+        assert net.link_between("tor-0-0", "agg-0-0").actually_up
+
+    def test_fail_unknown_link_raises(self, net):
+        with pytest.raises(TopologyError):
+            net.fail_link("tor-0-0", "core-0-0")
+
+    def test_fail_switch_fails_all_links(self, net):
+        net.fail_switch("agg-0-0")
+        for link in net.switch("agg-0-0").links:
+            assert not link.actually_up
+        net.restore_switch("agg-0-0")
+        assert all(l.actually_up for l in net.switch("agg-0-0").links)
+
+    def test_scheduled_failure_fires_at_time(self, net):
+        net.schedule_link_failure("tor-0-0", "agg-0-0", milliseconds(5))
+        net.sim.run(until=milliseconds(4))
+        assert net.link_between("tor-0-0", "agg-0-0").actually_up
+        net.sim.run(until=milliseconds(6))
+        assert not net.link_between("tor-0-0", "agg-0-0").actually_up
+
+    def test_scheduled_restore(self, net):
+        net.schedule_link_failure("tor-0-0", "agg-0-0", milliseconds(5))
+        net.schedule_link_restore("tor-0-0", "agg-0-0", milliseconds(10))
+        net.sim.run(until=milliseconds(20))
+        assert net.link_between("tor-0-0", "agg-0-0").actually_up
+
+    def test_drop_summary_aggregates(self, net):
+        net.switch("tor-0-0").drops["no_route"] += 2
+        net.switch("agg-0-0").drops["no_route"] += 1
+        assert net.drop_summary()["no_route"] == 3

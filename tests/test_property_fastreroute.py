@@ -1,0 +1,150 @@
+"""Property-based validation of the §II-C analysis against the data plane.
+
+For *arbitrary* combinations of failed links in the destination pod
+(downward rack links and across-ring links), the analytical classifier
+(:mod:`repro.core.failure_analysis`) and the actual forwarding behaviour
+must agree:
+
+* fast reroute succeeds exactly when the classifier says conditions 1-3,
+* the rerouted path is exactly ``extra_hops`` longer,
+* the classifier-predicted egress switch is on the rerouted path,
+* successful reroutes never visit a switch twice (loop freedom of the
+  prefix-length rule).
+
+Technique: one converged F²Tree network; each example flips links down
+and *forces* detection synchronously without running the simulator, so
+the control plane stays frozen and the trace exposes pure fast-reroute
+semantics.  Teardown restores everything, making examples independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.failure_analysis import FailureCondition, analyze_scenario
+from repro.core.f2tree import f2tree
+from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
+from repro.net.packet import PROTO_UDP
+from repro.topology.graph import LinkKind, NodeKind
+
+_STATE: Dict[str, object] = {}
+
+
+def _environment():
+    """Build (once) the converged 8-port F²Tree and its candidate links."""
+    if _STATE:
+        return _STATE
+    topo = f2tree(8, hosts_per_tor=1)
+    bundle = build_bundle(topo)
+    bundle.converge()
+    src, dst = leftmost_host(topo), rightmost_host(topo)
+    path, ok = bundle.network.trace_route(src, dst, PROTO_UDP, 10000, 7000)
+    assert ok
+    tor_d, agg_d = path[-2], path[-3]
+    pod = topo.node(agg_d).pod
+    ring = [n.name for n in topo.pod_members(NodeKind.AGG, pod)]
+    candidates: List[Tuple[str, str]] = []
+    for agg in ring:
+        candidates.append(tuple(sorted((agg, tor_d))))
+    for i, agg in enumerate(ring):
+        right = ring[(i + 1) % len(ring)]
+        candidates.append(tuple(sorted((agg, right))))
+    _STATE.update(
+        topo=topo, bundle=bundle, src=src, dst=dst, path=path,
+        tor_d=tor_d, agg_d=agg_d, ring=ring, candidates=candidates,
+    )
+    return _STATE
+
+
+def _force_detection(network, a: str, b: str, up: bool) -> None:
+    """Flip link state and detector belief synchronously (no sim events
+    are executed, so FIBs stay frozen at the converged state)."""
+    for link in network.links_between(a, b):
+        if up:
+            link.channel_ab.set_up(True)
+            link.channel_ba.set_up(True)
+        else:
+            link.channel_ab.set_up(False)
+            link.channel_ba.set_up(False)
+        for detector in link._detectors.values():
+            detector._timer.cancel()
+            detector._pending = None
+            detector.detected_up = up
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_classifier_agrees_with_frozen_dataplane(data):
+    env = _environment()
+    topo, bundle = env["topo"], env["bundle"]
+    network = bundle.network
+    candidates = env["candidates"]
+    failed = data.draw(
+        st.sets(st.sampled_from(candidates), max_size=4), label="failed links"
+    )
+    try:
+        for a, b in failed:
+            _force_detection(network, a, b, up=False)
+        analysis = analyze_scenario(
+            topo, env["agg_d"], env["tor_d"], frozenset(failed)
+        )
+        during, ok = network.trace_route(
+            env["src"], env["dst"], PROTO_UDP, 10000, 7000
+        )
+        if analysis.condition is FailureCondition.NO_DOWNWARD_FAILURE:
+            # the flow's own downward link is intact; upstream is untouched
+            assert ok
+            assert during == env["path"]
+        elif analysis.fast_reroute_succeeds:
+            assert ok, (sorted(failed), analysis)
+            assert len(during) == len(env["path"]) + analysis.extra_hops
+            assert analysis.egress in during
+            assert len(set(during)) == len(during)  # loop-free
+        else:
+            assert not ok, (sorted(failed), analysis)
+    finally:
+        for a, b in failed:
+            _force_detection(network, a, b, up=True)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_many_flows_never_loop_when_delivered(data):
+    """Across many five-tuples under arbitrary pod failures, any flow the
+    data plane *delivers* took a simple (loop-free) path."""
+    env = _environment()
+    bundle = env["bundle"]
+    network = bundle.network
+    failed = data.draw(
+        st.sets(st.sampled_from(env["candidates"]), max_size=4),
+        label="failed links",
+    )
+    dports = data.draw(
+        st.lists(
+            st.integers(min_value=20000, max_value=20999),
+            min_size=1, max_size=6, unique=True,
+        ),
+        label="flow dports",
+    )
+    try:
+        for a, b in failed:
+            _force_detection(network, a, b, up=False)
+        for dport in dports:
+            path, ok = network.trace_route(
+                env["src"], env["dst"], PROTO_UDP, 10000, dport
+            )
+            if ok:
+                assert len(set(path)) == len(path), (dport, path)
+    finally:
+        for a, b in failed:
+            _force_detection(network, a, b, up=True)

@@ -1,0 +1,122 @@
+"""Tests for Table I's closed forms (repro.core.scalability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.f2tree import f2tree
+from repro.core.scalability import (
+    aspen_row,
+    ddc_row,
+    f2tree_row,
+    fat_tree_row,
+    immediate_backup_links,
+    node_reduction_vs_fat_tree,
+    render_table_one,
+    table_one,
+    vl2_row,
+)
+from repro.topology.aspen import aspen_tree
+from repro.topology.fattree import fat_tree
+
+
+class TestRows:
+    def test_fat_tree_row(self):
+        row = fat_tree_row(8)
+        assert row.switches == 80  # 5 * 64 / 4
+        assert row.nodes == 128  # 512 / 4
+
+    def test_f2tree_row_exact_values(self):
+        row = f2tree_row(8)
+        assert row.switches == 5 * 64 // 4 - 7 * 8 // 2 + 2  # 54
+        assert row.nodes == 128 - 64 + 8  # 72
+
+    def test_f2tree_changes_nothing_in_software(self):
+        row = f2tree_row(8)
+        assert row.modifies_routing_protocol is False
+        assert row.modifies_data_plane is False
+
+    def test_aspen_rows(self):
+        assert aspen_row(8, 1).nodes == 64  # N^3 / (4 * 2)
+        assert aspen_row(8, 1).switches == 40
+        assert aspen_row(8, 1).modifies_routing_protocol is True
+
+    def test_aspen_requires_f_geq_one(self):
+        with pytest.raises(ValueError):
+            aspen_row(8, 0)
+
+    def test_vl2_row(self):
+        row = vl2_row(8)
+        assert row.switches == 20 and row.nodes == 32
+
+    def test_ddc_has_no_counts(self):
+        row = ddc_row()
+        assert row.switches is None and row.nodes is None
+        assert row.modifies_data_plane is True
+
+    def test_non_integral_rejected(self):
+        # odd port counts make 5N^2/4 non-integral
+        with pytest.raises(ValueError):
+            fat_tree_row(7)
+
+    def test_table_one_has_all_solutions(self):
+        rows = table_one(8)
+        assert [r.solution for r in rows] == [
+            "fat-tree", "vl2", "f2tree", "aspen<f=1,0>", "f10", "ddc",
+        ]
+
+
+class TestAgreementWithBuilders:
+    @pytest.mark.parametrize("ports", [4, 8])
+    def test_fat_tree_builder_agrees(self, ports):
+        topo = fat_tree(ports)
+        row = fat_tree_row(ports)
+        assert len(topo.switches()) == row.switches
+        assert len(topo.hosts()) == row.nodes
+
+    @pytest.mark.parametrize("ports", [6, 8, 10])
+    def test_f2tree_builder_agrees(self, ports):
+        topo = f2tree(ports)
+        row = f2tree_row(ports)
+        assert len(topo.switches()) == row.switches
+        assert len(topo.hosts()) == row.nodes
+
+    @pytest.mark.parametrize("ports,f", [(8, 1), (12, 2)])
+    def test_aspen_builder_agrees(self, ports, f):
+        topo = aspen_tree(ports, f)
+        row = aspen_row(ports, f)
+        assert len(topo.switches()) == row.switches
+        assert len(topo.hosts()) == row.nodes
+
+    def test_aspen_costs_half_the_nodes_f2tree_costs_low_order(self):
+        """§II-D: Aspen<1,0> halves capacity; F²Tree loses only N^2 - N."""
+        n = 16
+        fat_nodes = fat_tree_row(n).nodes
+        assert aspen_row(n, 1).nodes == fat_nodes // 2
+        assert fat_nodes - f2tree_row(n).nodes == n * n - n
+
+
+class TestDerived:
+    def test_reduction_at_128_ports_is_small(self):
+        """§II-D: 128-port switches lose only a few percent of nodes
+        (the paper rounds 4*127/128^2 = 3.1% to 'about 2%')."""
+        reduction = node_reduction_vs_fat_tree(128)
+        assert 0.02 < reduction < 0.035
+
+    def test_reduction_vanishes_with_scale(self):
+        assert node_reduction_vs_fat_tree(512) < node_reduction_vs_fat_tree(64)
+
+    def test_immediate_backup_links(self):
+        fat = immediate_backup_links(8, "fat-tree")
+        f2 = immediate_backup_links(8, "f2tree")
+        assert fat == {"upward": 3, "downward": 0}
+        assert f2 == {"upward": 4, "downward": 2}
+
+    def test_immediate_backup_links_unknown_solution(self):
+        with pytest.raises(ValueError):
+            immediate_backup_links(8, "vl2")
+
+    def test_render_includes_every_row(self):
+        text = render_table_one(8)
+        for name in ("fat-tree", "vl2", "f2tree", "aspen", "f10", "ddc"):
+            assert name in text

@@ -1,0 +1,240 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import (
+    PRIORITY_CONTROL,
+    PRIORITY_NORMAL,
+    SimulationError,
+    Simulator,
+    Timer,
+)
+from repro.sim.units import MILLISECOND, SECOND, milliseconds
+
+
+def test_starts_at_time_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_executes_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(10, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, order.append, "normal", priority=PRIORITY_NORMAL)
+    sim.schedule(10, order.append, "control", priority=PRIORITY_CONTROL)
+    sim.run()
+    assert order == ["control", "normal"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(100, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [100]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_before_boundary_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, seen.append, "early")
+    sim.schedule(100, seen.append, "late")
+    sim.run(until=100)
+    assert seen == ["early"]
+    assert sim.now == 100
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=500)
+    assert sim.now == 500
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(10, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+    assert handle.cancelled
+
+
+def test_cancel_after_execution_is_noop():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(10, seen.append, "x")
+    sim.run()
+    handle.cancel()
+    assert seen == ["x"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(5, seen.append, "second")
+
+    sim.schedule(10, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 15
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(i + 1, seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, seen.append, "a")
+    sim.schedule(2, seen.append, "b")
+    assert sim.step()
+    assert seen == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, reenter)
+    sim.run()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_execution_order_is_sorted_by_time(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=30),
+    st.data(),
+)
+def test_cancellation_removes_exactly_the_cancelled(delays, data):
+    sim = Simulator()
+    handles = {}
+    fired = []
+    for index, delay in enumerate(delays):
+        handles[index] = sim.schedule(delay, lambda i=index: fired.append(i))
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+    )
+    for index in to_cancel:
+        handles[index].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        seen = []
+        timer = Timer(sim, lambda: seen.append(sim.now))
+        timer.start(milliseconds(5))
+        sim.run()
+        assert seen == [milliseconds(5)]
+        assert not timer.armed
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        seen = []
+        timer = Timer(sim, lambda: seen.append(sim.now))
+        timer.start(100)
+        timer.start(200)  # re-arm before firing
+        sim.run()
+        assert seen == [200]
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        timer = Timer(sim, lambda: seen.append(1))
+        timer.start(100)
+        timer.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_expiry_visible_while_armed(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert timer.expiry is None
+        timer.start(123)
+        assert timer.armed
+        assert timer.expiry == 123
+
+    def test_can_rearm_from_callback(self):
+        sim = Simulator()
+        fires = []
+        timer = Timer(sim, lambda: None)
+
+        def on_fire():
+            fires.append(sim.now)
+            if len(fires) < 3:
+                timer.start(10)
+
+        timer._callback = on_fire
+        timer.start(10)
+        sim.run()
+        assert fires == [10, 20, 30]

@@ -1,0 +1,408 @@
+"""TCP tests: unit-level (fake wire) and integration over a real network.
+
+Unit tests drive :class:`TcpConnection` with hand-crafted segments through
+a capture-only fake host, checking the mechanisms the paper's results rest
+on: RTO backoff (200 ms doubling), go-back-N after timeout, cwnd
+validation for app-limited flows, fast retransmit, reassembly.
+
+Integration tests run real connections across a two-rack network and
+induce loss with link failures (detection disabled, so TCP alone must
+recover — the §III situation in miniature).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.network import Network
+from repro.dataplane.params import NetworkParams
+from repro.net.fib import FibEntry
+from repro.net.ip import IPv4Address
+from repro.net.packet import PROTO_TCP, Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import milliseconds, seconds
+from repro.topology.graph import LinkKind, Node, NodeKind, Topology
+from repro.transport.tcp import (
+    FLAG_ACK,
+    FLAG_SYN,
+    TcpConnection,
+    TcpListener,
+    TcpParams,
+    TcpSegment,
+    TcpStack,
+    TcpState,
+)
+
+
+class FakeHost:
+    """Captures transmissions instead of putting them on a wire."""
+
+    def __init__(self, sim, ip="10.11.0.2"):
+        self.sim = sim
+        self.ip = IPv4Address(ip)
+        self.name = "fake-host"
+        self.sent: list[Packet] = []
+        self._handlers = {}
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def register_handler(self, protocol, port, handler):
+        self._handlers[(protocol, port)] = handler
+
+    def unregister_handler(self, protocol, port):
+        self._handlers.pop((protocol, port), None)
+
+    def port_in_use(self, protocol, port):
+        return (protocol, port) in self._handlers
+
+    def segments(self):
+        return [p.payload for p in self.sent]
+
+    def last_segment(self):
+        return self.sent[-1].payload
+
+
+def make_client(sim=None, **params):
+    sim = sim or Simulator()
+    host = FakeHost(sim)
+    connection = TcpConnection(
+        sim, host, 33000, IPv4Address("10.11.4.2"), 80,
+        TcpParams(**params) if params else TcpParams(),
+    )
+    return sim, host, connection
+
+
+def established_client(**params):
+    """A client connection past the handshake, ready to send."""
+    sim, host, conn = make_client(**params)
+    conn.connect()
+    conn.handle_segment(TcpSegment(seq=0, ack=1, flags=FLAG_SYN | FLAG_ACK, length=0))
+    host.sent.clear()
+    return sim, host, conn
+
+
+class TestHandshake:
+    def test_connect_sends_syn(self):
+        sim, host, conn = make_client()
+        conn.connect()
+        assert conn.state is TcpState.SYN_SENT
+        syn = host.last_segment()
+        assert syn.flags == FLAG_SYN and syn.seq == 0
+
+    def test_synack_establishes_and_acks(self):
+        sim, host, conn = make_client()
+        established = []
+        conn.on_established = established.append
+        conn.connect()
+        conn.handle_segment(
+            TcpSegment(seq=0, ack=1, flags=FLAG_SYN | FLAG_ACK, length=0)
+        )
+        assert conn.state is TcpState.ESTABLISHED
+        assert established
+        ack = host.last_segment()
+        assert ack.flags == FLAG_ACK and ack.ack == 1
+
+    def test_syn_retransmitted_on_timeout(self):
+        sim, host, conn = make_client()
+        conn.connect()
+        sim.run(until=milliseconds(250))
+        syns = [s for s in host.segments() if s.flags == FLAG_SYN]
+        assert len(syns) == 2  # original + one RTO retransmission
+
+    def test_syn_backoff_doubles(self):
+        sim, host, conn = make_client()
+        conn.connect()
+        sim.run(until=milliseconds(1500))  # 200 + 400 + 800 fired
+        syns = [s for s in host.segments() if s.flags == FLAG_SYN]
+        assert len(syns) == 4
+
+    def test_connect_twice_rejected(self):
+        sim, host, conn = make_client()
+        conn.connect()
+        with pytest.raises(RuntimeError):
+            conn.connect()
+
+    def test_gives_up_after_max_retries(self):
+        sim, host, conn = make_client(max_retries=3)
+        failures = []
+        conn.on_failure = failures.append
+        conn.connect()
+        sim.run(until=seconds(60))
+        assert conn.state is TcpState.FAILED
+        assert failures
+
+
+class TestDataTransfer:
+    def test_send_segments_at_mss(self):
+        sim, host, conn = established_client()
+        conn.send(3000)
+        data = [s for s in host.segments() if s.length]
+        assert [s.length for s in data] == [1448, 1448, 104]
+
+    def test_window_limits_flight(self):
+        sim, host, conn = established_client(initial_cwnd_segments=2)
+        conn.send(10 * 1448)
+        data = [s for s in host.segments() if s.length]
+        assert len(data) == 2  # cwnd = 2 segments
+
+    def test_ack_advances_and_releases_more(self):
+        sim, host, conn = established_client(initial_cwnd_segments=2)
+        conn.send(10 * 1448)
+        first = [s for s in host.segments() if s.length][0]
+        conn.handle_segment(
+            TcpSegment(seq=1, ack=first.seq_end, flags=FLAG_ACK, length=0)
+        )
+        # the ack frees one slot and (cwnd-limited) slow start adds another
+        data = [s for s in host.segments() if s.length]
+        assert len(data) == 4
+
+    def test_on_all_acked_fires_when_queue_drains(self):
+        sim, host, conn = established_client()
+        done = []
+        conn.on_all_acked = done.append
+        conn.send(1000)
+        conn.handle_segment(TcpSegment(seq=1, ack=1001, flags=FLAG_ACK, length=0))
+        assert done
+
+    def test_send_nonpositive_rejected(self):
+        sim, host, conn = established_client()
+        with pytest.raises(ValueError):
+            conn.send(0)
+
+
+class TestReceive:
+    def test_in_order_delivery(self):
+        sim, host, conn = established_client()
+        got = []
+        conn.on_data = lambda c, n: got.append(n)
+        conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=1448))
+        assert got == [1448]
+        assert conn.rcv_nxt == 1449
+        assert host.last_segment().ack == 1449
+
+    def test_out_of_order_buffered_and_dupacked(self):
+        sim, host, conn = established_client()
+        got = []
+        conn.on_data = lambda c, n: got.append(n)
+        # second segment arrives first
+        conn.handle_segment(
+            TcpSegment(seq=1449, ack=1, flags=FLAG_ACK, length=1448)
+        )
+        assert got == []
+        assert host.last_segment().ack == 1  # duplicate ACK marks the hole
+        conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=1448))
+        assert got == [2896]  # hole filled: both delivered at once
+        assert host.last_segment().ack == 2897
+
+    def test_duplicate_data_reacked_not_redelivered(self):
+        sim, host, conn = established_client()
+        got = []
+        conn.on_data = lambda c, n: got.append(n)
+        seg = TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=1448)
+        conn.handle_segment(seg)
+        conn.handle_segment(seg)
+        assert got == [1448]
+        assert conn.bytes_delivered == 1448
+
+    def test_overlapping_segment_delivers_only_new_bytes(self):
+        sim, host, conn = established_client()
+        got = []
+        conn.on_data = lambda c, n: got.append(n)
+        conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=1000))
+        conn.handle_segment(TcpSegment(seq=500, ack=1, flags=FLAG_ACK, length=1000))
+        assert sum(got) == 1499
+
+    def test_many_out_of_order_ranges_merge(self):
+        sim, host, conn = established_client()
+        got = []
+        conn.on_data = lambda c, n: got.append(n)
+        # 4 disjoint later ranges, then the head
+        for start in (2001, 4001, 3001, 5001):
+            conn.handle_segment(
+                TcpSegment(seq=start, ack=1, flags=FLAG_ACK, length=1000)
+            )
+        conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=2000))
+        assert conn.rcv_nxt == 6001
+        assert sum(got) == 6000
+
+
+class TestRetransmission:
+    def test_rto_go_back_n(self):
+        sim, host, conn = established_client(initial_cwnd_segments=4)
+        conn.send(4 * 1448)
+        sent_before = len([s for s in host.segments() if s.length])
+        assert sent_before == 4
+        sim.run(until=milliseconds(250))  # RTO fires, nothing acked
+        assert conn.snd_nxt == 1 + 1448  # rolled back, one segment out
+        assert conn.cwnd == 1448
+        retransmissions = [
+            s for s in host.segments()[sent_before:] if s.length
+        ]
+        assert len(retransmissions) == 1
+        assert retransmissions[0].seq == 1
+
+    def test_rto_backoff_doubles_then_resets_on_ack(self):
+        sim, host, conn = established_client()
+        conn.send(1448)
+        base = conn.rto
+        sim.run(until=milliseconds(250))
+        assert conn.rto == 2 * base
+        sim.run(until=milliseconds(700))
+        assert conn.rto == 4 * base
+        conn.handle_segment(TcpSegment(seq=1, ack=1449, flags=FLAG_ACK, length=0))
+        assert conn.rto <= base
+
+    def test_fast_retransmit_on_three_dupacks(self):
+        sim, host, conn = established_client(initial_cwnd_segments=8)
+        conn.send(8 * 1448)
+        sent_before = len(host.sent)
+        for _ in range(3):
+            conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=0))
+        assert conn.fast_retransmits == 1
+        retrans = [s for s in host.segments()[sent_before:] if s.length]
+        assert retrans and retrans[0].seq == 1
+
+    def test_two_dupacks_do_not_trigger(self):
+        sim, host, conn = established_client(initial_cwnd_segments=8)
+        conn.send(8 * 1448)
+        for _ in range(2):
+            conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=0))
+        assert conn.fast_retransmits == 0
+
+    def test_recovery_exits_at_recover_point(self):
+        sim, host, conn = established_client(initial_cwnd_segments=8)
+        conn.send(8 * 1448)
+        recover_point = conn.snd_nxt
+        for _ in range(3):
+            conn.handle_segment(TcpSegment(seq=1, ack=1, flags=FLAG_ACK, length=0))
+        assert conn._in_recovery
+        conn.handle_segment(
+            TcpSegment(seq=1, ack=recover_point, flags=FLAG_ACK, length=0)
+        )
+        assert not conn._in_recovery
+
+
+class TestCongestionControl:
+    def test_app_limited_flow_keeps_initial_window(self):
+        """RFC 2861 validation: the §III paced flow must not grow cwnd."""
+        sim, host, conn = established_client()
+        start_cwnd = conn.cwnd
+        for i in range(20):
+            conn.send(1448)
+            seg = [s for s in host.segments() if s.length][-1]
+            conn.handle_segment(
+                TcpSegment(seq=1, ack=seg.seq_end, flags=FLAG_ACK, length=0)
+            )
+        assert conn.cwnd == start_cwnd
+
+    def test_cwnd_limited_flow_slow_starts(self):
+        sim, host, conn = established_client(initial_cwnd_segments=2)
+        conn.send(100 * 1448)
+        start_cwnd = conn.cwnd
+        first = [s for s in host.segments() if s.length][0]
+        conn.handle_segment(
+            TcpSegment(seq=1, ack=first.seq_end, flags=FLAG_ACK, length=0)
+        )
+        assert conn.cwnd == start_cwnd + 1448
+
+    def test_rtt_sample_updates_rto_floor(self):
+        sim, host, conn = established_client()
+        conn.send(1448)
+        sim.schedule(milliseconds(1), lambda: None)
+        sim.run(until=milliseconds(1))
+        conn.handle_segment(TcpSegment(seq=1, ack=1449, flags=FLAG_ACK, length=0))
+        assert conn._srtt == milliseconds(1)
+        assert conn.rto == milliseconds(200)  # clamped at the minimum
+
+
+def two_rack_network(params=None):
+    """host-a - tor-a --- tor-b - host-b with manual routes."""
+    topo = Topology("two-rack")
+    topo.add_node(Node("tor-a", NodeKind.TOR, pod=0, position=0))
+    topo.add_node(Node("tor-b", NodeKind.TOR, pod=0, position=1))
+    topo.add_node(Node("host-a", NodeKind.HOST, pod=0, position=0))
+    topo.add_node(Node("host-b", NodeKind.HOST, pod=0, position=1))
+    topo.add_link("host-a", "tor-a", LinkKind.HOST)
+    topo.add_link("host-b", "tor-b", LinkKind.HOST)
+    topo.add_link("tor-a", "tor-b", LinkKind.TOR_AGG)
+    net = Network(topo, params=params)
+    a, b = topo.node("tor-a").subnet, topo.node("tor-b").subnet
+    net.switch("tor-a").fib.install(FibEntry(b, ("tor-b",), source="test"))
+    net.switch("tor-b").fib.install(FibEntry(a, ("tor-a",), source="test"))
+    return net
+
+
+class TestOverNetwork:
+    def test_transfer_completes(self):
+        net = two_rack_network()
+        received = []
+        TcpListener(
+            net.sim, net.host("host-b"), 80,
+            lambda c: setattr(c, "on_data", lambda cc, n: received.append(n)),
+        )
+        stack = TcpStack(net.sim, net.host("host-a"))
+        conn = stack.open(net.host("host-b").ip, 80)
+        conn.send(50 * 1448)
+        net.sim.run(until=seconds(2))
+        assert sum(received) == 50 * 1448
+        assert conn.state is TcpState.ESTABLISHED
+
+    def test_transfer_survives_loss_window_via_rto(self):
+        """Black-hole the fabric for 150 ms mid-transfer; detection is set
+        slower than the outage so TCP's RTO must do all the work."""
+        params = NetworkParams(
+            detection_delay=seconds(10), up_detection_delay=seconds(10)
+        )
+        net = two_rack_network(params)
+        received = []
+        TcpListener(
+            net.sim, net.host("host-b"), 80,
+            lambda c: setattr(c, "on_data", lambda cc, n: received.append(n)),
+        )
+        stack = TcpStack(net.sim, net.host("host-a"))
+        conn = stack.open(net.host("host-b").ip, 80)
+        conn.send(200 * 1448)
+        # the bulk transfer finishes in ~3 ms at line rate, so cut the
+        # fabric 1 ms in (mid-slow-start) and heal it 150 ms later
+        net.schedule_link_failure("tor-a", "tor-b", milliseconds(1))
+        net.schedule_link_restore("tor-a", "tor-b", milliseconds(150))
+        net.sim.run(until=seconds(5))
+        assert sum(received) == 200 * 1448
+        assert conn.segments_retransmitted > 0
+        assert conn.rto_fires > 0
+
+    def test_two_stacks_on_one_host_get_distinct_ports(self):
+        net = two_rack_network()
+        TcpListener(net.sim, net.host("host-b"), 80, lambda c: None)
+        stack1 = TcpStack(net.sim, net.host("host-a"))
+        stack2 = TcpStack(net.sim, net.host("host-a"))
+        c1 = stack1.open(net.host("host-b").ip, 80)
+        c2 = stack2.open(net.host("host-b").ip, 80)
+        assert c1.local_port != c2.local_port
+
+    def test_close_releases_port(self):
+        net = two_rack_network()
+        TcpListener(net.sim, net.host("host-b"), 80, lambda c: None)
+        stack = TcpStack(net.sim, net.host("host-a"))
+        conn = stack.open(net.host("host-b").ip, 80)
+        port = conn.local_port
+        conn.close()
+        assert not net.host("host-a").port_in_use(PROTO_TCP, port)
+
+    def test_listener_ignores_non_syn_strangers(self):
+        net = two_rack_network()
+        accepted = []
+        listener = TcpListener(net.sim, net.host("host-b"), 80, accepted.append)
+        stray = Packet(
+            src=net.host("host-a").ip,
+            dst=net.host("host-b").ip,
+            protocol=PROTO_TCP,
+            size_bytes=60,
+            sport=40000,
+            dport=80,
+            payload=TcpSegment(seq=5, ack=5, flags=FLAG_ACK, length=0),
+        )
+        net.host("host-b").receive(stray, sender="tor-b")
+        assert accepted == []

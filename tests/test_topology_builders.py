@@ -1,0 +1,168 @@
+"""Tests for the fat tree / Leaf-Spine / VL2 / Aspen builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.aspen import aspen_tree, expected_aspen_counts
+from repro.topology.fattree import expected_fat_tree_counts, fat_tree
+from repro.topology.graph import LinkKind, NodeKind, TopologyError
+from repro.topology.leafspine import leaf_spine
+from repro.topology.vl2 import vl2
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("ports", [4, 6, 8, 10])
+    def test_counts_match_table_one(self, ports):
+        topo = fat_tree(ports)
+        expected = expected_fat_tree_counts(ports)
+        assert len(topo.switches()) == expected["switches"]
+        assert len(topo.hosts()) == expected["hosts"]
+        assert len(topo.nodes_of_kind(NodeKind.CORE)) == expected["cores"]
+
+    @pytest.mark.parametrize("ports", [4, 8])
+    def test_every_switch_uses_exactly_all_ports(self, ports):
+        topo = fat_tree(ports)
+        for switch in topo.switches():
+            assert topo.degree(switch.name) == ports, switch.name
+
+    def test_tor_connects_to_every_agg_in_pod(self, fat8):
+        for pod in range(8):
+            for t in range(4):
+                peers = {
+                    n
+                    for n in fat8.neighbors(f"tor-{pod}-{t}")
+                    if n.startswith("agg")
+                }
+                assert peers == {f"agg-{pod}-{a}" for a in range(4)}
+
+    def test_core_group_connects_same_agg_index_of_every_pod(self, fat8):
+        for group in range(4):
+            for c in range(4):
+                peers = set(fat8.neighbors(f"core-{group}-{c}"))
+                assert peers == {f"agg-{pod}-{group}" for pod in range(8)}
+
+    def test_no_intra_pod_agg_links(self, fat8):
+        """Fat tree has no across links — the gap F²Tree fills (§II-B)."""
+        assert all(
+            link.kind is not LinkKind.ACROSS for link in fat8.links.values()
+        )
+        for pod in range(8):
+            aggs = fat8.pod_members(NodeKind.AGG, pod)
+            for a in aggs:
+                for b in aggs:
+                    if a.name != b.name:
+                        assert not fat8.links_between(a.name, b.name)
+
+    def test_downward_link_has_no_immediate_backup(self, fat8):
+        """Exactly one link from a given agg to a given ToR."""
+        assert len(fat8.links_between("agg-0-0", "tor-0-0")) == 1
+
+    def test_reduced_hosts_per_tor(self):
+        topo = fat_tree(4, hosts_per_tor=1)
+        assert len(topo.hosts()) == 8
+
+    @pytest.mark.parametrize("ports", [3, 5, 2, 0])
+    def test_invalid_ports_rejected(self, ports):
+        with pytest.raises(TopologyError):
+            fat_tree(ports)
+
+    def test_too_many_hosts_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(4, hosts_per_tor=3)
+
+    def test_is_fully_connected(self, fat4):
+        component = fat4.connected_component("host-0-0-0")
+        assert len(component) == len(fat4.nodes)
+
+
+class TestLeafSpine:
+    def test_full_bipartite(self):
+        topo = leaf_spine(4, 3, hosts_per_leaf=2)
+        for i in range(4):
+            spines = {n for n in topo.neighbors(f"leaf-{i}") if n.startswith("spine")}
+            assert spines == {f"spine-{j}" for j in range(3)}
+
+    def test_counts(self):
+        topo = leaf_spine(4, 3, hosts_per_leaf=2)
+        assert len(topo.nodes_of_kind(NodeKind.LEAF)) == 4
+        assert len(topo.nodes_of_kind(NodeKind.SPINE)) == 3
+        assert len(topo.hosts()) == 8
+
+    def test_downward_spine_leaf_link_is_unique(self):
+        topo = leaf_spine(4, 3)
+        assert len(topo.links_between("spine-0", "leaf-2")) == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(1, 4)
+        with pytest.raises(TopologyError):
+            leaf_spine(4, 1)
+
+
+class TestVl2:
+    def test_structure(self):
+        topo = vl2(d_a=4, d_i=4)
+        assert len(topo.nodes_of_kind(NodeKind.INTERMEDIATE)) == 2
+        assert len(topo.nodes_of_kind(NodeKind.AGG)) == 4
+        assert len(topo.nodes_of_kind(NodeKind.TOR)) == 4
+
+    def test_agg_intermediate_full_bipartite(self):
+        topo = vl2(d_a=4, d_i=4)
+        for j in range(4):
+            ints = {n for n in topo.neighbors(f"agg-{j}") if n.startswith("int")}
+            assert ints == {"int-0", "int-1"}
+
+    def test_tors_dual_homed_to_adjacent_aggs(self):
+        topo = vl2(d_a=4, d_i=4)
+        for t in range(4):
+            aggs = sorted(
+                n for n in topo.neighbors(f"tor-{t}") if n.startswith("agg")
+            )
+            assert aggs == sorted([f"agg-{(2 * t) % 4}", f"agg-{(2 * t + 1) % 4}"])
+
+    def test_agg_tor_link_unique_per_pair(self):
+        """The VL2 downward gap the paper points at (§V): one agg->ToR link."""
+        topo = vl2(d_a=4, d_i=4)
+        assert len(topo.links_between("agg-0", "tor-0")) == 1
+
+    def test_invalid_degrees_rejected(self):
+        with pytest.raises(TopologyError):
+            vl2(d_a=3, d_i=4)
+        with pytest.raises(TopologyError):
+            vl2(d_a=4, d_i=3)
+
+
+class TestAspen:
+    @pytest.mark.parametrize("ports,f", [(8, 1), (8, 3), (12, 1), (12, 2)])
+    def test_counts_match_table_one(self, ports, f):
+        topo = aspen_tree(ports, f)
+        expected = expected_aspen_counts(ports, f)
+        assert len(topo.switches()) == expected["switches"]
+        assert len(topo.hosts()) == expected["hosts"]
+
+    def test_parallel_links_provide_fault_tolerance(self):
+        topo = aspen_tree(8, 1)
+        # f+1 = 2 parallel links between an agg and each core it touches
+        core = "core-0-0"
+        agg = "agg-0-0"
+        assert len(topo.links_between(agg, core)) == 2
+
+    def test_port_budget_respected(self):
+        topo = aspen_tree(8, 1)
+        for switch in topo.switches():
+            assert topo.degree(switch.name) <= 8
+
+    def test_f0_degenerates_to_fat_tree_counts(self):
+        topo = aspen_tree(8, 0)
+        expected = expected_fat_tree_counts(8)
+        assert len(topo.switches()) == expected["switches"]
+        assert len(topo.hosts()) == expected["hosts"]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(TopologyError):
+            aspen_tree(8, 2)  # 8 % 3 != 0
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(TopologyError):
+            aspen_tree(8, -1)

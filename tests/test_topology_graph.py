@@ -1,0 +1,136 @@
+"""Unit tests for the topology graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.graph import (
+    Link,
+    LinkKind,
+    Node,
+    NodeKind,
+    Topology,
+    TopologyError,
+)
+
+
+def tiny() -> Topology:
+    topo = Topology("tiny")
+    topo.add_node(Node("s1", NodeKind.AGG, pod=0, position=0))
+    topo.add_node(Node("s2", NodeKind.AGG, pod=0, position=1))
+    topo.add_node(Node("t1", NodeKind.TOR, pod=0, position=0))
+    topo.add_node(Node("h1", NodeKind.HOST, pod=0, position=0))
+    topo.add_link("t1", "s1", LinkKind.TOR_AGG)
+    topo.add_link("t1", "s2", LinkKind.TOR_AGG)
+    topo.add_link("h1", "t1", LinkKind.HOST)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = tiny()
+        with pytest.raises(TopologyError):
+            topo.add_node(Node("s1", NodeKind.AGG))
+
+    def test_link_needs_existing_endpoints(self):
+        topo = tiny()
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "ghost", LinkKind.TOR_AGG)
+
+    def test_self_link_rejected(self):
+        topo = tiny()
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "s1", LinkKind.ACROSS)
+
+    def test_parallel_links_allowed(self):
+        topo = tiny()
+        topo.add_link("s1", "s2", LinkKind.ACROSS)
+        topo.add_link("s1", "s2", LinkKind.ACROSS)
+        assert len(topo.links_between("s1", "s2")) == 2
+
+    def test_remove_link(self):
+        topo = tiny()
+        link = topo.link_between("t1", "s1")
+        topo.remove_link(link)
+        assert topo.links_between("t1", "s1") == []
+        assert topo.degree("s1") == 0
+
+    def test_remove_link_twice_rejected(self):
+        topo = tiny()
+        link = topo.link_between("t1", "s1")
+        topo.remove_link(link)
+        with pytest.raises(TopologyError):
+            topo.remove_link(link)
+
+
+class TestQueries:
+    def test_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            tiny().node("nope")
+
+    def test_degree_and_neighbors(self):
+        topo = tiny()
+        assert topo.degree("t1") == 3
+        assert sorted(topo.neighbors("t1")) == ["h1", "s1", "s2"]
+
+    def test_link_between_requires_exactly_one(self):
+        topo = tiny()
+        with pytest.raises(TopologyError):
+            topo.link_between("s1", "s2")  # zero links
+        topo.add_link("s1", "s2", LinkKind.ACROSS)
+        assert topo.link_between("s1", "s2").kind is LinkKind.ACROSS
+        topo.add_link("s1", "s2", LinkKind.ACROSS)
+        with pytest.raises(TopologyError):
+            topo.link_between("s1", "s2")  # two links
+
+    def test_link_other_and_key(self):
+        link = tiny().link_between("t1", "s1")
+        assert link.other("t1") == "s1"
+        assert link.other("s1") == "t1"
+        with pytest.raises(TopologyError):
+            link.other("h1")
+        assert link.key == ("s1", "t1")
+
+    def test_nodes_of_kind_sorted_left_to_right(self):
+        topo = tiny()
+        aggs = topo.nodes_of_kind(NodeKind.AGG)
+        assert [a.name for a in aggs] == ["s1", "s2"]
+
+    def test_pod_members_in_position_order(self):
+        topo = tiny()
+        assert [n.name for n in topo.pod_members(NodeKind.AGG, 0)] == ["s1", "s2"]
+        assert topo.pod_members(NodeKind.AGG, 99) == []
+
+    def test_pods_of_kind(self):
+        topo = tiny()
+        assert topo.pods_of_kind(NodeKind.AGG) == [0]
+        assert topo.pods_of_kind(NodeKind.CORE) == []
+
+    def test_host_tor_relations(self):
+        topo = tiny()
+        assert [h.name for h in topo.host_of_tor("t1")] == ["h1"]
+        assert topo.tor_of_host("h1").name == "t1"
+
+    def test_multi_homed_host_rejected_by_tor_of_host(self):
+        topo = tiny()
+        topo.add_node(Node("t2", NodeKind.TOR, pod=0, position=1))
+        topo.add_link("h1", "t2", LinkKind.HOST)
+        with pytest.raises(TopologyError):
+            topo.tor_of_host("h1")
+
+    def test_connected_component(self):
+        topo = tiny()
+        topo.add_node(Node("island", NodeKind.CORE, pod=0, position=0))
+        component = topo.connected_component("h1")
+        assert component == {"h1", "t1", "s1", "s2"}
+
+    def test_port_budget_validation(self):
+        topo = tiny()
+        topo.validate_port_budget(3, (NodeKind.TOR,))  # t1 has degree 3
+        with pytest.raises(TopologyError):
+            topo.validate_port_budget(2, (NodeKind.TOR,))
+
+    def test_str_summaries(self):
+        topo = tiny()
+        assert "tiny" in str(topo)
+        assert "<->" in str(topo.link_between("t1", "s1"))

@@ -1,0 +1,144 @@
+"""Tests for UDP probe apps and the TCP application helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.units import microseconds, milliseconds, seconds
+from repro.transport.apps import (
+    PacedTcpSender,
+    RequestResponseServer,
+    TcpSinkServer,
+    issue_request,
+)
+from repro.transport.tcp import TcpStack
+from repro.transport.udp import UdpSender, UdpSink
+
+from tests.test_tcp import two_rack_network
+
+
+@pytest.fixture()
+def net():
+    return two_rack_network()
+
+
+class TestUdp:
+    def test_constant_rate_sending(self, net):
+        sink = UdpSink(net.sim, net.host("host-b"), 7000)
+        sender = UdpSender(
+            net.sim, net.host("host-a"), net.host("host-b").ip, 7000
+        )
+        sender.start(at=0, stop_at=milliseconds(10))
+        net.sim.run(until=milliseconds(20))
+        assert sender.sent == 100  # one every 100 us for 10 ms
+        assert sink.received == 100
+
+    def test_sequences_are_consecutive(self, net):
+        sink = UdpSink(net.sim, net.host("host-b"), 7000)
+        sender = UdpSender(net.sim, net.host("host-a"), net.host("host-b").ip, 7000)
+        sender.start(at=0, stop_at=milliseconds(2))
+        net.sim.run(until=milliseconds(5))
+        assert [a.seq for a in sink.arrivals] == list(range(20))
+
+    def test_delay_measured_per_packet(self, net):
+        sink = UdpSink(net.sim, net.host("host-b"), 7000)
+        sender = UdpSender(net.sim, net.host("host-a"), net.host("host-b").ip, 7000)
+        sender.start(at=0, stop_at=milliseconds(1))
+        net.sim.run(until=milliseconds(5))
+        # 3 links x 17 us = 51 us end to end; 2 switch forwards
+        assert all(a.delay == microseconds(51) for a in sink.arrivals)
+        assert all(a.hops == 2 for a in sink.arrivals)
+
+    def test_stop(self, net):
+        sender = UdpSender(net.sim, net.host("host-a"), net.host("host-b").ip, 7000)
+        sender.start(at=0)
+        net.sim.run(until=milliseconds(1))
+        sender.stop()
+        sent = sender.sent
+        net.sim.run(until=milliseconds(5))
+        assert sender.sent == sent
+
+    def test_custom_interval(self, net):
+        sink = UdpSink(net.sim, net.host("host-b"), 7000)
+        sender = UdpSender(
+            net.sim, net.host("host-a"), net.host("host-b").ip, 7000,
+            interval=milliseconds(1),
+        )
+        sender.start(at=0, stop_at=milliseconds(10))
+        net.sim.run(until=milliseconds(20))
+        assert sender.sent == 10
+
+
+class TestPacedSenderAndSink:
+    def test_paced_flow_delivers_offered_bytes(self, net):
+        sink = TcpSinkServer(net.sim, net.host("host-b"), 7001)
+        sender = PacedTcpSender(
+            net.sim, net.host("host-a"), net.host("host-b").ip, 7001
+        )
+        sender.start(at=0, stop_at=milliseconds(50))
+        net.sim.run(until=milliseconds(200))
+        assert sink.total_bytes == sender.offered
+        assert sender.offered == 500 * 1448
+
+    def test_deliveries_are_timestamped_monotonically(self, net):
+        sink = TcpSinkServer(net.sim, net.host("host-b"), 7001)
+        sender = PacedTcpSender(net.sim, net.host("host-a"), net.host("host-b").ip, 7001)
+        sender.start(at=0, stop_at=milliseconds(10))
+        net.sim.run(until=milliseconds(100))
+        times = [t for t, _ in sink.deliveries]
+        assert times == sorted(times)
+
+
+class TestRequestResponse:
+    def test_round_trip_completes(self, net):
+        server = RequestResponseServer(net.sim, net.host("host-b"), 5000)
+        stack = TcpStack(net.sim, net.host("host-a"))
+        outcome = issue_request(
+            net.sim, stack, net.host("host-b").ip, 5000
+        )
+        net.sim.run(until=seconds(1))
+        assert outcome.completed_at is not None
+        assert not outcome.failed
+        assert server.requests_served == 1
+
+    def test_completion_time_is_a_few_rtts(self, net):
+        RequestResponseServer(net.sim, net.host("host-b"), 5000)
+        stack = TcpStack(net.sim, net.host("host-a"))
+        outcome = issue_request(net.sim, stack, net.host("host-b").ip, 5000)
+        net.sim.run(until=seconds(1))
+        # handshake + request + 2 KB response over a ~100 us RTT fabric
+        assert outcome.completion_time < milliseconds(2)
+
+    def test_on_complete_callback(self, net):
+        RequestResponseServer(net.sim, net.host("host-b"), 5000)
+        stack = TcpStack(net.sim, net.host("host-a"))
+        done = []
+        issue_request(
+            net.sim, stack, net.host("host-b").ip, 5000, on_complete=done.append
+        )
+        net.sim.run(until=seconds(1))
+        assert len(done) == 1
+
+    def test_multiple_requests_one_server(self, net):
+        server = RequestResponseServer(net.sim, net.host("host-b"), 5000)
+        stack = TcpStack(net.sim, net.host("host-a"))
+        outcomes = [
+            issue_request(net.sim, stack, net.host("host-b").ip, 5000)
+            for _ in range(5)
+        ]
+        net.sim.run(until=seconds(1))
+        assert all(o.completed_at is not None for o in outcomes)
+        assert server.requests_served == 5
+
+    def test_custom_sizes(self, net):
+        server = RequestResponseServer(
+            net.sim, net.host("host-b"), 5000,
+            request_bytes=100, response_bytes=10_000,
+        )
+        stack = TcpStack(net.sim, net.host("host-a"))
+        outcome = issue_request(
+            net.sim, stack, net.host("host-b").ip, 5000,
+            request_bytes=100, response_bytes=10_000,
+        )
+        net.sim.run(until=seconds(1))
+        assert outcome.completed_at is not None

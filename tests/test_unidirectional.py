@@ -1,0 +1,116 @@
+"""Tests for unidirectional failures and detection modes (future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.link import RuntimeLink
+from repro.dataplane.params import NetworkParams
+from repro.experiments.extensions import run_unidirectional
+from repro.net.ip import IPv4Address
+from repro.net.packet import PROTO_UDP, Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import milliseconds
+from repro.topology.graph import Link as LinkSpec, LinkKind
+
+from tests.test_link import FakeNode, probe
+
+
+def make_link(params=None):
+    sim = Simulator()
+    a, b = FakeNode("a"), FakeNode("b")
+    spec = LinkSpec(0, "a", "b", LinkKind.TOR_AGG)
+    link = RuntimeLink(sim, params or NetworkParams(), spec, a, b)
+    return sim, a, b, link
+
+
+class TestDirectionalChannels:
+    def test_one_direction_dies_other_lives(self):
+        sim, a, b, link = make_link()
+        link.fail_direction("a")
+        link.channel_from("a").enqueue(probe())
+        link.channel_from("b").enqueue(probe())
+        sim.run(until=milliseconds(1))
+        assert b.received == []  # a->b dead
+        assert len(a.received) == 1  # b->a alive
+
+    def test_actually_up_requires_both(self):
+        sim, a, b, link = make_link()
+        assert link.actually_up
+        link.fail_direction("a")
+        assert not link.actually_up
+        link.restore_direction("a")
+        assert link.actually_up
+
+    def test_bidirectional_fail_still_works(self):
+        sim, a, b, link = make_link()
+        link.fail()
+        assert not link.channel_from("a").enqueue(probe())
+        assert not link.channel_from("b").enqueue(probe())
+
+
+class TestDetectionModes:
+    def test_bfd_mode_both_ends_detect_unidirectional(self):
+        sim, a, b, link = make_link()
+        sim.schedule(0, link.fail_direction, "a")
+        sim.run(until=milliseconds(70))
+        assert not link.detected_up_by("a")
+        assert not link.detected_up_by("b")
+
+    def test_interface_mode_only_receiver_detects(self):
+        params = NetworkParams(detection_mode="interface")
+        sim, a, b, link = make_link(params)
+        sim.schedule(0, link.fail_direction, "a")
+        sim.run(until=milliseconds(70))
+        assert link.detected_up_by("a")  # the sender never notices...
+        assert not link.detected_up_by("b")  # ...the receiver does
+
+    def test_interface_mode_bidirectional_detected_by_both(self):
+        params = NetworkParams(detection_mode="interface")
+        sim, a, b, link = make_link(params)
+        sim.schedule(0, link.fail)
+        sim.run(until=milliseconds(70))
+        assert not link.detected_up_by("a")
+        assert not link.detected_up_by("b")
+
+    def test_partial_restore_keeps_bfd_down(self):
+        sim, a, b, link = make_link()
+        sim.schedule(0, link.fail)
+        sim.run(until=milliseconds(70))
+        link.restore_direction("a")
+        sim.run(until=milliseconds(200))
+        # b->a is still dead: the bfd session must stay down at both ends
+        assert not link.detected_up_by("a")
+        assert not link.detected_up_by("b")
+
+    def test_flap_through_pending_recovery(self):
+        """down -> (up while down-detected, pending up) -> down again:
+        the pending recovery must be cancelled."""
+        sim, a, b, link = make_link()
+        sim.schedule(0, link.fail)
+        sim.schedule(milliseconds(100), link.restore)
+        sim.schedule(milliseconds(120), link.fail)  # before up-detection
+        sim.run(until=milliseconds(400))
+        assert not link.detected_up_by("a")
+        assert a.adjacency_events == [(False,)]
+
+
+class TestF2TreeUnderUnidirectionalFailure:
+    """The extension finding: local rerouting needs local detection."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {
+            mode: run_unidirectional(mode)
+            for mode in ("bfd", "interface")
+        }
+
+    def test_bfd_detection_preserves_fast_reroute(self, outcomes):
+        assert outcomes["bfd"].fast_rerouted
+        assert 55 < outcomes["bfd"].connectivity_loss_ms < 75
+
+    def test_interface_only_detection_loses_fast_reroute(self, outcomes):
+        """The sending switch never sees the dead downward direction, so
+        packets black-hole until the *receiver's* LSA drives SPF."""
+        assert not outcomes["interface"].fast_rerouted
+        assert outcomes["interface"].connectivity_loss_ms > 250

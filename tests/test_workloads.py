@@ -1,0 +1,98 @@
+"""Tests for the partition-aggregate and background workloads
+(on a small, healthy network: everything must complete quickly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_bundle
+from repro.metrics.requests import DEFAULT_DEADLINE
+from repro.sim.randomness import RandomStreams
+from repro.sim.units import milliseconds, seconds
+from repro.topology.fattree import fat_tree
+from repro.workloads.background import BackgroundTraffic
+from repro.workloads.partition_aggregate import PartitionAggregateWorkload
+
+
+@pytest.fixture()
+def healthy():
+    """A fresh converged fabric per test: workloads bind well-known ports
+    on every host, so they cannot share a network instance."""
+    bundle = build_bundle(fat_tree(4), seed=5)
+    bundle.converge()
+    return bundle
+
+
+class TestPartitionAggregate:
+    def test_all_requests_complete_without_failures(self, healthy):
+        workload = PartitionAggregateWorkload(
+            healthy.network, RandomStreams(21), n_requests=30
+        )
+        start = healthy.sim.now
+        workload.schedule(start, seconds(5))
+        healthy.sim.run(until=start + seconds(8))
+        assert workload.stats.total == 30
+        assert all(r.completed_at is not None for r in workload.stats.records)
+
+    def test_no_deadline_misses_on_healthy_fabric(self, healthy):
+        workload = PartitionAggregateWorkload(
+            healthy.network, RandomStreams(22), n_requests=20
+        )
+        start = healthy.sim.now
+        workload.schedule(start, seconds(3))
+        healthy.sim.run(until=start + seconds(6))
+        assert workload.stats.deadline_miss_ratio(DEFAULT_DEADLINE) == 0.0
+
+    def test_completions_take_a_few_ms(self, healthy):
+        workload = PartitionAggregateWorkload(
+            healthy.network, RandomStreams(23), n_requests=10
+        )
+        start = healthy.sim.now
+        workload.schedule(start, seconds(2))
+        healthy.sim.run(until=start + seconds(4))
+        for record in workload.stats.records:
+            assert record.completion_time < milliseconds(20)
+
+    def test_fanout_validated_against_host_count(self):
+        bundle = build_bundle(fat_tree(4, hosts_per_tor=1))
+        with pytest.raises(ValueError):
+            PartitionAggregateWorkload(
+                bundle.network, RandomStreams(1), n_requests=1, fanout=100
+            )
+
+    def test_fanout_must_be_positive(self, healthy):
+        with pytest.raises(ValueError):
+            PartitionAggregateWorkload(
+                healthy.network, RandomStreams(1), n_requests=1, fanout=0
+            )
+
+
+class TestBackground:
+    def test_flows_complete(self, healthy):
+        background = BackgroundTraffic(healthy.network, RandomStreams(31))
+        start = healthy.sim.now
+        background.schedule(20, start, seconds(5))
+        healthy.sim.run(until=start + seconds(20))
+        assert len(background.flows) == 20
+        assert background.completed == 20
+
+    def test_flow_sizes_are_lognormal_spread(self, healthy):
+        background = BackgroundTraffic(
+            healthy.network, RandomStreams(32), mean_flow_bytes=50_000
+        )
+        start = healthy.sim.now
+        background.schedule(30, start, seconds(5))
+        healthy.sim.run(until=start + milliseconds(1))  # launch only
+        # flows launch over the horizon; inspect those scheduled so far via
+        # the generator state after the full run instead
+        healthy.sim.run(until=start + seconds(10))
+        sizes = {f.size_bytes for f in background.flows}
+        assert len(sizes) > 10  # genuinely random sizes
+        assert min(sizes) >= 1448
+
+    def test_src_dst_always_distinct(self, healthy):
+        background = BackgroundTraffic(healthy.network, RandomStreams(33))
+        start = healthy.sim.now
+        background.schedule(25, start, seconds(5))
+        healthy.sim.run(until=start + seconds(10))
+        assert all(f.src != f.dst for f in background.flows)
