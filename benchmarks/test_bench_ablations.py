@@ -18,7 +18,6 @@ from repro.experiments.ablations import (
     run_four_across_c7,
     run_spf_timer_sweep,
 )
-from repro.sim.units import milliseconds
 
 
 def test_bench_ablation_spf_timer(benchmark, emit):

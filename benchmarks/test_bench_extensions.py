@@ -20,7 +20,6 @@ from repro.experiments.extensions import (
     run_pathvector_comparison,
     run_unidirectional,
 )
-from repro.sim.units import milliseconds
 
 
 def test_bench_ext_pathvector(benchmark, emit):

@@ -12,7 +12,6 @@ from __future__ import annotations
 from repro.core.f2tree import f2tree
 from repro.experiments.recovery import run_recovery
 from repro.sim.units import milliseconds, seconds, to_milliseconds
-from repro.topology.fattree import fat_tree
 
 
 def test_bench_scale_invariance(benchmark, emit):

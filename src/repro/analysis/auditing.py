@@ -9,9 +9,9 @@ switch), stretch (hops beyond the baseline), and where packets died.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..dataplane.network import Network
 from ..net.packet import Packet

@@ -14,7 +14,7 @@ bandwidth".  These functions make the claim checkable:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..topology.graph import LinkKind, Topology
 from .maxflow import FlowNetwork

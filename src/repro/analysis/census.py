@@ -15,9 +15,9 @@ from __future__ import annotations
 import itertools
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..core.failure_analysis import FailureCondition, analyze_scenario
+from ..core.failure_analysis import analyze_scenario
 from ..topology.graph import LinkKind, NodeKind, Topology
 
 LinkKey = Tuple[str, str]

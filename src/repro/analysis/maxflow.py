@@ -9,7 +9,7 @@ bandwidth and oversubscription.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Dict, Hashable, Tuple
 
 Node = Hashable
 Edge = Tuple[Node, Node]

@@ -12,7 +12,7 @@ distinct next hops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Set
 
 from ..dataplane.network import Network
 from ..net.fib import LOCAL

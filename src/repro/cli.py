@@ -6,9 +6,13 @@ Usage::
     python -m repro run table3
     python -m repro run fig4 fig5 --out results/
     python -m repro run all --out results/
+    python -m repro recover --topology fat-tree --trace out.jsonl
+    python -m repro report out.jsonl
 
 Each artifact is a self-contained function returning the rendered text
-(the same renderers the benchmark suite asserts against).
+(the same renderers the benchmark suite asserts against).  ``recover``
+runs a traced single-flow recovery experiment and prints its per-phase
+breakdown; ``report`` re-analyzes a previously saved trace.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import argparse
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def _table1() -> str:
@@ -234,7 +238,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="also write each artifact to <out>/<name>.txt",
     )
+    recover = sub.add_parser(
+        "recover",
+        help="run a traced recovery experiment and print its phase breakdown",
+    )
+    recover.add_argument(
+        "--topology", choices=("fat-tree", "f2tree"), default="fat-tree",
+        help="the §III testbed topology to fail (default: fat-tree)",
+    )
+    recover.add_argument(
+        "--transport", choices=("udp", "tcp"), default="udp",
+        help="probe transport (default: udp)",
+    )
+    recover.add_argument(
+        "--trace", type=pathlib.Path, default=None,
+        help="write the raw event trace to this JSONL file",
+    )
+    recover.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the metrics registry",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="print the breakdown as JSON instead of the ASCII timeline",
+    )
+    report = sub.add_parser(
+        "report", help="per-phase recovery breakdown from a saved trace"
+    )
+    report.add_argument("trace", type=pathlib.Path, help="trace JSONL file")
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the breakdown as JSON instead of the ASCII timeline",
+    )
     return parser
+
+
+def _cmd_recover(args) -> int:
+    from .experiments.testbed import run_testbed
+    from .obs import Observability, render_breakdown
+    from .sim.units import to_microseconds
+
+    obs = Observability(enabled=True)
+    result = run_testbed(args.topology, args.transport, obs=obs)
+    assert result.breakdown is not None
+    if args.json:
+        print(result.breakdown.to_json())
+    else:
+        print(render_breakdown(result.breakdown))
+        if result.connectivity_loss is not None:
+            print(
+                f"\nconnectivity loss (timeseries metric): "
+                f"{to_microseconds(result.connectivity_loss):.0f} us, "
+                f"{result.packets_lost} packets lost"
+            )
+        if result.collapse_duration is not None:
+            print(
+                f"\nthroughput collapse (timeseries metric): "
+                f"{to_microseconds(result.collapse_duration):.0f} us"
+            )
+    if args.metrics:
+        print()
+        print(obs.metrics.render())
+    if args.trace is not None:
+        count = obs.trace.write_jsonl(args.trace)
+        print(f"\nwrote {count} trace events to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import TraceAnalysisError, analyze_recovery, read_jsonl, render_breakdown
+
+    try:
+        events = read_jsonl(args.trace)
+        breakdown = analyze_recovery(events)
+    except (TraceAnalysisError, OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot analyze {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(breakdown.to_json())
+    else:
+        print(render_breakdown(breakdown))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -243,6 +327,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (_fn, description) in ARTIFACTS.items():
             print(f"{name:<12} {description}")
         return 0
+    if args.command == "recover":
+        return _cmd_recover(args)
+    if args.command == "report":
+        return _cmd_report(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

@@ -19,12 +19,12 @@ covering prefixes: right distance-2 gets ``/14``, left distance-2 ``/13``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..dataplane.network import Network
 from ..net.ip import Prefix
 from ..routing.static import StaticRoute, install_static_routes
-from ..topology.addressing import COVERING_PREFIX, DCN_PREFIX
+from ..topology.addressing import DCN_PREFIX
 from ..topology.graph import LinkKind, NodeKind, Topology, TopologyError
 
 #: Kinds of switch that participate in across rings.

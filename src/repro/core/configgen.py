@@ -23,8 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..dataplane.params import NetworkParams
-from ..net.ip import Prefix
-from ..topology.graph import Node, NodeKind, Topology, TopologyError
+from ..topology.graph import NodeKind, Topology, TopologyError
 from .backup_routes import backup_routes_for
 
 

@@ -24,13 +24,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..dataplane.network import Network
 from ..net.fib import FibEntry
-from ..net.ip import Prefix
 from ..topology.graph import LinkKind, NodeKind, Topology
-from .backup_routes import RING_KINDS, ring_neighbors_of
+from .backup_routes import ring_neighbors_of
 
 
 class Severity(enum.Enum):

@@ -18,15 +18,18 @@ event handles.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..net.packet import Packet
+from ..obs.trace import EV_LINK_DETECTED, EV_LINK_FAIL, EV_LINK_RESTORE
 from ..sim.engine import PRIORITY_NORMAL, Simulator, Timer
 from ..sim.units import Time, transmission_delay
 from ..topology.graph import Link as LinkSpec
 from .params import NetworkParams
+
+#: Buckets for the output-queue occupancy histogram (packets, at enqueue).
+QUEUE_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import NetworkNode
@@ -64,6 +67,7 @@ class Channel:
     ) -> None:
         self._sim = sim
         self._params = params
+        self._obs = sim.obs
         self.src = src
         self.dst = dst
         self.up = True
@@ -82,9 +86,15 @@ class Channel:
         self.stats.sent += 1
         if not self.up:
             self.stats.dropped_down += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.metrics.counter("link.dropped", reason="down").inc()
             return False
         if self._queued >= self._params.queue_capacity:
             self.stats.dropped_queue += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.metrics.counter("link.dropped", reason="queue_full").inc()
             return False
         now = self._sim.now
         start = max(now, self._next_free)
@@ -94,6 +104,11 @@ class Channel:
         self._queued += 1
         self.stats.busy_ns += tx
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queued)
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.histogram(
+                "link.queue_depth", buckets=QUEUE_DEPTH_BUCKETS
+            ).observe(self._queued)
         arrival = finish + self._params.propagation_delay
         self._sim.schedule_at(finish, self._serialized, priority=PRIORITY_NORMAL)
         self._sim.schedule_at(
@@ -107,6 +122,9 @@ class Channel:
     def _deliver(self, packet: Packet, epoch: int) -> None:
         if epoch != self.epoch or not self.up:
             self.stats.dropped_down += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.metrics.counter("link.dropped", reason="down_in_flight").inc()
             return
         self.stats.delivered += 1
         self.dst.receive(packet, sender=self.src.name)
@@ -204,6 +222,7 @@ class RuntimeLink:
     ) -> None:
         self.spec = spec
         self.params = params
+        self._sim = sim
         self.node_a = node_a
         self.node_b = node_b
         self.channel_ab = Channel(sim, params, node_a, node_b)
@@ -251,22 +270,38 @@ class RuntimeLink:
         """Take the link down in both directions (the paper's failures)."""
         self.channel_ab.set_up(False)
         self.channel_ba.set_up(False)
+        obs = self._sim.obs
+        obs.metrics.counter("link.failures").inc()
+        obs.trace.emit(self._sim.now, EV_LINK_FAIL, self.name)
         self._sync_detectors()
 
     def restore(self) -> None:
         """Bring both directions back up."""
         self.channel_ab.set_up(True)
         self.channel_ba.set_up(True)
+        obs = self._sim.obs
+        obs.metrics.counter("link.restores").inc()
+        obs.trace.emit(self._sim.now, EV_LINK_RESTORE, self.name)
         self._sync_detectors()
 
     def fail_direction(self, from_name: str) -> None:
         """Kill only the ``from_name`` -> peer direction (unidirectional)."""
         self.channel_from(from_name).set_up(False)
+        obs = self._sim.obs
+        obs.metrics.counter("link.failures").inc()
+        obs.trace.emit(
+            self._sim.now, EV_LINK_FAIL, self.name, direction=from_name
+        )
         self._sync_detectors()
 
     def restore_direction(self, from_name: str) -> None:
         """Revive only the ``from_name`` -> peer direction."""
         self.channel_from(from_name).set_up(True)
+        obs = self._sim.obs
+        obs.metrics.counter("link.restores").inc()
+        obs.trace.emit(
+            self._sim.now, EV_LINK_RESTORE, self.name, direction=from_name
+        )
         self._sync_detectors()
 
     def _observable_up(self, node_name: str) -> bool:
@@ -284,4 +319,16 @@ class RuntimeLink:
             detector.observe(self._observable_up(name))
 
     def _on_detected(self, node: "NetworkNode", up: bool) -> None:
+        obs = self._sim.obs
+        obs.metrics.counter(
+            "link.detections", state="up" if up else "down"
+        ).inc()
+        obs.trace.emit(
+            self._sim.now,
+            EV_LINK_DETECTED,
+            node.name,
+            link=self.name,
+            peer=self.other(node.name).name,
+            up=up,
+        )
         node.on_adjacency_change(self, up)

@@ -11,10 +11,9 @@ and offline path tracing through the current FIBs.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..net.fib import FibEntry, LOCAL
-from ..net.ip import IPv4Address
 from ..net.packet import DEFAULT_TTL, Packet, PROTO_UDP
 from ..sim.engine import PRIORITY_CONTROL, Simulator
 from ..sim.units import Time

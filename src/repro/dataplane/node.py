@@ -30,12 +30,17 @@ from collections import Counter
 from typing import Callable, Dict, List, Optional, Protocol, TYPE_CHECKING
 
 from ..net.ecmp import fnv1a_64, select_next_hop
-from ..net.fib import Fib, FibEntry, LOCAL
+from ..net.fib import Fib, LOCAL
 from ..net.ip import IPv4Address
 from ..net.packet import PROTO_ROUTING, Packet
+from ..obs.trace import EV_FIB_FALLTHROUGH, EV_PKT_DELIVER, EV_PKT_DROP
 from ..sim.engine import Simulator
 from .link import RuntimeLink
 from .params import NetworkParams
+
+#: Buckets for the FIB match-walk-length histogram: 1 = longest prefix won,
+#: 2+ = fall-through past dead matches (3 = the /24 -> /16 -> /15 chain).
+MATCH_DEPTH_BUCKETS = (1, 2, 3, 4, 8)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..topology.graph import Node as NodeSpec
@@ -64,6 +69,8 @@ class NetworkNode:
         self.sim = sim
         self.params = params
         self.spec = spec
+        #: cached observability facade — hot paths check one attribute
+        self._obs = sim.obs
         self.name = spec.name
         self.ip: IPv4Address = spec.ip
         self.links: List[RuntimeLink] = []
@@ -112,15 +119,36 @@ class NetworkNode:
     def receive(self, packet: Packet, sender: str) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def _record_drop(self, reason: str) -> None:
+        """Count a drop locally and (when tracing) in the obs layer."""
+        self.drops[reason] += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.counter("pkt.dropped", reason=reason).inc()
+            obs.trace.emit(self.sim.now, EV_PKT_DROP, self.name, reason=reason)
+
     def deliver_local(self, packet: Packet, sender: str) -> None:
         """Hand a packet addressed to this node to the upper layers."""
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.counter("pkt.delivered").inc()
+            obs.trace.emit(
+                self.sim.now,
+                EV_PKT_DELIVER,
+                self.name,
+                proto=packet.protocol,
+                sport=packet.sport,
+                dport=packet.dport,
+                size=packet.size_bytes,
+                hops=packet.hops,
+            )
         for tap in self.receive_taps:
             tap(packet, self)
         handler = self._handlers.get((packet.protocol, packet.dport))
         if handler is None:
             handler = self._handlers.get((packet.protocol, 0))
         if handler is None:
-            self.drops["no_handler"] += 1
+            self._record_drop("no_handler")
             return
         handler(packet, self)
 
@@ -195,12 +223,31 @@ class SwitchNode(NetworkNode):
     def forward(self, packet: Packet) -> None:
         """FIB fall-through forwarding (see module docstring)."""
         if packet.ttl <= 1:
-            self.drops["ttl_expired"] += 1
+            self._record_drop("ttl_expired")
             return
-        entry, next_hop = self.resolve(packet)
+        entry, next_hop, depth = self._resolve_indexed(packet)
         if entry is None:
-            self.drops["no_route"] += 1
+            self._record_drop("no_route")
             return
+        obs = self._obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("pkt.forwarded").inc()
+            metrics.histogram(
+                "fib.match_depth", buckets=MATCH_DEPTH_BUCKETS
+            ).observe(depth + 1)
+            if depth > 0:
+                metrics.counter("fib.fallthrough").inc()
+                if entry.source == "static":
+                    metrics.counter("fib.backup_route_hits").inc()
+                obs.trace.emit(
+                    self.sim.now,
+                    EV_FIB_FALLTHROUGH,
+                    self.name,
+                    prefix=str(entry.prefix),
+                    source=entry.source,
+                    depth=depth,
+                )
         packet.forwarded()
         for tap in self.forward_taps:
             tap(packet, self.name)
@@ -226,6 +273,16 @@ class SwitchNode(NetworkNode):
         is detected dead; shared by actual forwarding and by offline path
         tracing.  Returns ``(None, None)`` when no live route exists.
         """
+        entry, next_hop, _depth = self._resolve_indexed(packet)
+        return entry, next_hop
+
+    def _resolve_indexed(self, packet: Packet):
+        """:meth:`resolve` plus how many matches were walked to get there.
+
+        ``depth`` 0 means the longest match had a live next hop; >0 counts
+        the dead longer matches skipped (backup-route fall-through).
+        """
+        depth = 0
         for entry in self.fib.matches(packet.dst):
             live = [
                 nh
@@ -233,16 +290,17 @@ class SwitchNode(NetworkNode):
                 if nh == LOCAL or self.neighbor_alive(nh)  # type: ignore[arg-type]
             ]
             if live:
-                return entry, select_next_hop(live, packet.flow_key, self.salt)
-        return None, None
+                return entry, select_next_hop(live, packet.flow_key, self.salt), depth
+            depth += 1
+        return None, None, depth
 
     def _deliver_to_host(self, packet: Packet) -> None:
         link = self.local_hosts.get(packet.dst.value)
         if link is None:
-            self.drops["unknown_host"] += 1
+            self._record_drop("unknown_host")
             return
         if not link.detected_up_by(self.name):
-            self.drops["host_link_down"] += 1
+            self._record_drop("host_link_down")
             return
         link.channel_from(self.name).enqueue(packet)
 
@@ -268,6 +326,6 @@ class HostNode(NetworkNode):
 
     def receive(self, packet: Packet, sender: str) -> None:
         if packet.dst != self.ip:
-            self.drops["not_mine"] += 1
+            self._record_drop("not_mine")
             return
         self.deliver_local(packet, sender)

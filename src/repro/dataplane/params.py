@@ -14,7 +14,7 @@ Defaults reproduce the paper's measured / configured constants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..sim.units import Time, microseconds, milliseconds
 

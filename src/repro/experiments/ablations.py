@@ -20,7 +20,7 @@ the arguments into measurements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.f2tree import f2tree
 from ..dataplane.params import NetworkParams

@@ -27,7 +27,7 @@ from ..core.f2tree import f2tree
 from ..dataplane.params import NetworkParams
 from ..metrics.timeseries import connectivity_loss_duration
 from ..net.packet import PROTO_UDP
-from ..sim.units import Time, milliseconds, seconds, to_milliseconds
+from ..sim.units import milliseconds, seconds, to_milliseconds
 from ..topology.aspen import aspen_tree
 from ..topology.graph import Topology
 from ..transport.udp import UdpSender, UdpSink

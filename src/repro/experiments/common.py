@@ -10,18 +10,19 @@ host to the rightmost one").
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.backup_routes import configure_backup_routes
 from ..dataplane.network import Network
 from ..dataplane.params import NetworkParams
+from ..obs import Observability
 from ..routing.centralized import (
     CentralizedController,
     ControllerParams,
     deploy_centralized,
 )
-from ..routing.linkstate import LinkStateProtocol, deploy_linkstate
+from ..routing.linkstate import deploy_linkstate
 from ..routing.pathvector import PathVectorParams, deploy_pathvector
 from ..routing.static import StaticRoute
 from ..sim.engine import Simulator
@@ -59,6 +60,11 @@ class Bundle:
         """Run the control plane until the network has settled."""
         self.sim.run(until=until)
 
+    @property
+    def obs(self) -> Observability:
+        """The simulator's observability facade (trace + metrics)."""
+        return self.sim.obs
+
 
 def build_bundle(
     topology: Topology,
@@ -67,6 +73,7 @@ def build_bundle(
     backup_tie_break: str = "prefix-length",
     routing: str = "linkstate",
     routing_options: Optional[object] = None,
+    obs: Optional[Observability] = None,
 ) -> Bundle:
     """Instantiate a network with a control plane (and backup routes if
     F²-style).
@@ -76,8 +83,11 @@ def build_bundle(
     ``routing_options`` is a :class:`~repro.routing.pathvector.PathVectorParams`),
     or ``centralized`` (the §V SDN setting; ``routing_options`` is a
     :class:`~repro.routing.centralized.ControllerParams`).
+    ``obs`` attaches an :class:`~repro.obs.Observability` facade to the
+    simulator (pass ``Observability(enabled=True)`` to record a trace);
+    omitted, the bundle gets the disabled no-op default.
     """
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     network = Network(topology, sim, params)
     controller: Optional[CentralizedController] = None
     if routing == "linkstate":

@@ -10,8 +10,8 @@ length during reroute).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.f2tree import f2tree
 from ..core.failure_analysis import FailureAnalysis, analyze_scenario
@@ -23,7 +23,7 @@ from ..failures.scenarios import (
     build_scenario,
 )
 from ..net.packet import PROTO_UDP
-from ..sim.units import Time, to_microseconds, to_milliseconds
+from ..sim.units import to_milliseconds
 from ..topology.fattree import fat_tree
 from ..topology.graph import Topology
 from .common import leftmost_host, rightmost_host

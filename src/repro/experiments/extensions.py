@@ -21,7 +21,7 @@ future work.  These harnesses turn each claim into an experiment:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..dataplane.params import NetworkParams
 from ..net.packet import PROTO_UDP

@@ -8,7 +8,7 @@ adaptation (ring + backup routes, local fast reroute).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core.adapt import f2_leaf_spine, f2_vl2
 from ..dataplane.params import NetworkParams
@@ -16,7 +16,7 @@ from ..sim.units import to_milliseconds
 from ..topology.graph import Topology
 from ..topology.leafspine import leaf_spine
 from ..topology.vl2 import vl2
-from .recovery import RecoveryResult, run_recovery
+from .recovery import run_recovery
 
 
 def figure_seven_topology(kind: str) -> Topology:

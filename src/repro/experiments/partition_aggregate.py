@@ -12,8 +12,8 @@ stays fast — set ``REPRO_FULL_SCALE=1`` for the paper-scale run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..dataplane.params import NetworkParams
 from ..failures.injector import (
@@ -24,7 +24,6 @@ from ..failures.injector import (
 )
 from ..metrics.requests import DEFAULT_DEADLINE, RequestStats, reduction_ratio
 from ..sim.units import Time, milliseconds, seconds, to_milliseconds
-from ..topology.graph import Topology
 from ..workloads.background import BackgroundTraffic
 from ..workloads.partition_aggregate import PartitionAggregateWorkload
 from .common import DEFAULT_WARMUP, build_bundle, full_scale

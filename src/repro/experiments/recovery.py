@@ -29,17 +29,12 @@ from ..metrics.timeseries import (
     throughput_series,
 )
 from ..net.packet import PROTO_TCP, PROTO_UDP
+from ..obs import Observability, RecoveryBreakdown, analyze_recovery
 from ..sim.units import Time, milliseconds, seconds
 from ..topology.graph import Topology
 from ..transport.apps import PacedTcpSender, TcpSinkServer
 from ..transport.udp import UdpSender, UdpSink
-from .common import (
-    DEFAULT_WARMUP,
-    Bundle,
-    build_bundle,
-    leftmost_host,
-    rightmost_host,
-)
+from .common import DEFAULT_WARMUP, build_bundle, leftmost_host, rightmost_host
 
 UDP_PORT = 7000
 TCP_PORT = 7001
@@ -71,6 +66,8 @@ class RecoveryResult:
     # path evolution
     path_during: Optional[Tuple[List[str], bool]] = None
     path_after: Optional[Tuple[List[str], bool]] = None
+    #: per-phase recovery attribution (set when the run was traced)
+    breakdown: Optional[RecoveryBreakdown] = None
 
     @property
     def packets_lost(self) -> int:
@@ -102,6 +99,7 @@ def run_recovery(
     dst: Optional[str] = None,
     routing: str = "linkstate",
     routing_options: Optional[object] = None,
+    obs: Optional[Observability] = None,
 ) -> RecoveryResult:
     """Run one recovery experiment end to end.
 
@@ -109,13 +107,15 @@ def run_recovery(
     be given; all omitted means the default single downward-link failure
     (the testbed experiment of §III, at the paper's 380 ms offset).
     ``routing`` selects the control plane (see
-    :func:`repro.experiments.common.build_bundle`).
+    :func:`repro.experiments.common.build_bundle`).  Passing an *enabled*
+    ``obs`` records a trace and fills ``result.breakdown`` with the
+    per-phase recovery attribution.
     """
     if transport not in ("udp", "tcp"):
         raise ValueError(f"unknown transport {transport!r}")
     bundle = build_bundle(
         topology, params=params, seed=seed, backup_tie_break=backup_tie_break,
-        routing=routing, routing_options=routing_options,
+        routing=routing, routing_options=routing_options, obs=obs,
     )
     bundle.converge(warmup)
 
@@ -212,6 +212,13 @@ def run_recovery(
         result.throughput = throughput_series(
             sink_server.deliveries, flow_start, flow_end
         )
+    if obs is not None and obs.enabled:
+        result.breakdown = analyze_recovery(
+            obs.trace,
+            dst=dst,
+            dport=dport,
+            failure_time=failure_time,
+        )
     return result
 
 
@@ -222,11 +229,16 @@ def reroute_delay_microseconds(
 
     "During reroute" means samples between failure detection and the
     control plane's FIB update; Fig 5 shows 100 us -> 117 us -> 100 us for
-    C1 (one extra 17 us hop while fast rerouting).
+    C1 (one extra 17 us hop while fast rerouting).  A traced run knows the
+    *actual* detection instant from its breakdown; untraced runs fall back
+    to the paper's nominal 60 ms detection delay.
     """
     if not result.delay_samples:
         raise ValueError("no UDP delay samples (TCP run?)")
-    detection = result.failure_time + milliseconds(60)
+    if result.breakdown is not None and result.breakdown.detected_time is not None:
+        detection = result.breakdown.detected_time
+    else:
+        detection = result.failure_time + milliseconds(60)
 
     def mean(samples: List[Time]) -> float:
         return sum(samples) / len(samples) / 1000.0 if samples else float("nan")

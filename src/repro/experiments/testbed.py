@@ -14,7 +14,8 @@ from typing import Dict, Optional
 
 from ..core.f2tree import rewire_fat_tree_prototype
 from ..dataplane.params import NetworkParams
-from ..sim.units import Time, to_microseconds
+from ..obs import Observability
+from ..sim.units import to_microseconds
 from ..topology.fattree import fat_tree
 from ..topology.graph import Topology
 from .recovery import RecoveryResult, run_recovery
@@ -35,9 +36,12 @@ def run_testbed(
     transport: str,
     params: Optional[NetworkParams] = None,
     seed: int = 1,
+    obs: Optional[Observability] = None,
 ) -> RecoveryResult:
     """One §III run (one topology, one transport)."""
-    return run_recovery(testbed_topology(kind), transport, params=params, seed=seed)
+    return run_recovery(
+        testbed_topology(kind), transport, params=params, seed=seed, obs=obs
+    )
 
 
 @dataclass

@@ -14,8 +14,7 @@ Two modes, matching the paper's two evaluation styles:
 
 from __future__ import annotations
 
-import random as _random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..dataplane.network import Network

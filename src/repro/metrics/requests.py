@@ -9,7 +9,7 @@ shows the CDF of completion times above 100 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..sim.units import Time, milliseconds
 

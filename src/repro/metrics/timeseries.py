@@ -12,7 +12,6 @@ These implement the paper's measurement methodology literally:
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,8 +33,13 @@ class ThroughputBin:
 
     @property
     def mbps(self) -> float:
-        """Received rate in megabits/second."""
-        return self.bytes * 8 * 1000.0 / self.width  # bytes*8 bits / (ns/1e3)
+        """Received rate in megabits/second.
+
+        ``bytes * 8 / width`` is bits per nanosecond, i.e. gigabits per
+        second; the ``* 1000`` scales Gbps to Mbps.  A full 1 Gbps link
+        therefore reads 1000.0.
+        """
+        return self.bytes * 8 * 1000.0 / self.width
 
 
 def throughput_series(
@@ -44,10 +48,15 @@ def throughput_series(
     end: Time,
     bin_width: Time = DEFAULT_BIN,
 ) -> List[ThroughputBin]:
-    """Bin deliveries into fixed-width throughput bins covering [start, end)."""
+    """Bin deliveries into fixed-width throughput bins covering [start, end).
+
+    An empty window (``end <= start``) yields an empty series.
+    """
     if bin_width <= 0:
         raise ValueError("bin width must be positive")
-    n_bins = max(0, (end - start + bin_width - 1) // bin_width)
+    if end <= start:
+        return []
+    n_bins = (end - start + bin_width - 1) // bin_width
     counts = [0] * n_bins
     for timestamp, n_bytes in deliveries:
         if start <= timestamp < end:
@@ -142,7 +151,9 @@ def render_throughput(
     """ASCII rendering of a throughput time series (Fig 2-style)."""
     if not bins:
         return "(no data)"
-    peak = max(b.bytes for b in bins) or 1
+    peak = max(b.bytes for b in bins)
+    if peak == 0:
+        return "(no traffic in any bin)"
     lines = []
     for b in bins:
         bar = "#" * round(b.bytes / peak * max_width)

@@ -17,7 +17,7 @@ to test with hypothesis against a brute-force reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterator, Optional, Tuple
 
 from .ip import IPv4Address, Prefix
@@ -62,12 +62,16 @@ class Fib:
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._count = 0
+        #: lifetime churn counters (observability: FIB update audit trails)
+        self.installs = 0
+        self.withdrawals = 0
 
     def __len__(self) -> int:
         return self._count
 
     def install(self, entry: FibEntry) -> None:
         """Insert or replace the entry for ``entry.prefix``."""
+        self.installs += 1
         node = self._root
         for bit_index in range(entry.prefix.length):
             bit = (entry.prefix.network >> (31 - bit_index)) & 1
@@ -99,6 +103,7 @@ class Fib:
             return False
         node.entry = None
         self._count -= 1
+        self.withdrawals += 1
         for parent, bit in reversed(path):
             child = parent.children[bit]
             assert child is not None

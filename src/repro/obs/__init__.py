@@ -1,0 +1,151 @@
+"""Observability: event tracing, metrics, and recovery-phase attribution.
+
+The measurement substrate the ROADMAP's performance work stands on.  Three
+pieces:
+
+* :mod:`repro.obs.trace` — a ring-buffer :class:`TraceRecorder` of typed,
+  timestamped events, with a disabled-by-default no-op fast path;
+* :mod:`repro.obs.registry` — a prometheus-style :class:`MetricsRegistry`
+  of named counters, gauges and fixed-bucket histograms;
+* :mod:`repro.obs.breakdown` — :func:`analyze_recovery`, which turns a
+  trace into the paper's per-phase recovery decomposition
+  (detect -> flood -> SPF hold -> SPF compute -> FIB update -> first packet).
+
+The :class:`Observability` facade bundles one recorder and one registry and
+is what a :class:`~repro.sim.engine.Simulator` carries (``sim.obs``).
+Every simulator gets a **disabled** facade by default: hot paths check one
+cached attribute (``obs.enabled``) and skip all instrumentation, so the
+untraced simulator costs what it did before this layer existed.  Cold
+paths (failures, LSA floods, SPF runs) emit unconditionally — the recorder
+no-ops while disabled, and registry counters are cheap enough to always
+keep.
+
+Enable at construction time::
+
+    from repro.obs import Observability
+    obs = Observability(enabled=True)
+    result = run_recovery(fat_tree(4), "udp", obs=obs)
+    print(render_breakdown(result.breakdown))
+    obs.trace.write_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .breakdown import (
+    DEFAULT_GAP_THRESHOLD,
+    MECHANISM_FRR,
+    MECHANISM_NONE,
+    MECHANISM_SPF,
+    PHASE_ORDER,
+    PhaseSpan,
+    RecoveryBreakdown,
+    TraceAnalysisError,
+    analyze_recovery,
+    render_breakdown,
+)
+from .registry import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import (
+    DEFAULT_CAPACITY,
+    EV_FIB_FALLTHROUGH,
+    EV_FIB_INSTALL,
+    EV_LINK_DETECTED,
+    EV_LINK_FAIL,
+    EV_LINK_RESTORE,
+    EV_LSA_ACCEPT,
+    EV_LSA_ORIGINATE,
+    EV_PKT_DELIVER,
+    EV_PKT_DROP,
+    EV_SPF_RUN,
+    EV_SPF_SCHEDULE,
+    NULL_TRACE,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+    replay,
+)
+
+
+class Observability:
+    """One trace recorder + one metrics registry, with a master switch.
+
+    ``enabled`` gates the *hot-path* instrumentation (per-packet, per-event
+    work); it is kept in sync with ``trace.enabled``.  The registry is
+    always live — cold-path counters (SPF runs, LSA floods, link failures)
+    accumulate whether or not tracing is on.
+    """
+
+    __slots__ = ("trace", "metrics", "enabled")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.trace = (
+            trace
+            if trace is not None
+            else TraceRecorder(capacity=capacity, enabled=enabled)
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.trace.enabled = enabled
+
+    def enable(self) -> None:
+        self.enabled = True
+        self.trace.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.trace.enabled = False
+
+
+__all__ = [
+    "Observability",
+    # trace
+    "TraceEvent",
+    "TraceRecorder",
+    "NULL_TRACE",
+    "DEFAULT_CAPACITY",
+    "read_jsonl",
+    "replay",
+    "EV_FIB_FALLTHROUGH",
+    "EV_FIB_INSTALL",
+    "EV_LINK_DETECTED",
+    "EV_LINK_FAIL",
+    "EV_LINK_RESTORE",
+    "EV_LSA_ACCEPT",
+    "EV_LSA_ORIGINATE",
+    "EV_PKT_DELIVER",
+    "EV_PKT_DROP",
+    "EV_SPF_RUN",
+    "EV_SPF_SCHEDULE",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_MS_BUCKETS",
+    "default_registry",
+    # breakdown
+    "PhaseSpan",
+    "RecoveryBreakdown",
+    "TraceAnalysisError",
+    "analyze_recovery",
+    "render_breakdown",
+    "DEFAULT_GAP_THRESHOLD",
+    "PHASE_ORDER",
+    "MECHANISM_FRR",
+    "MECHANISM_NONE",
+    "MECHANISM_SPF",
+]

@@ -1,0 +1,237 @@
+"""A prometheus-style registry of named counters, gauges and histograms.
+
+Usage pattern (mirrors prometheus client libraries, minus the server)::
+
+    registry = MetricsRegistry()
+    registry.counter("fib.backup_fallthrough", node="agg-0-1").inc()
+    registry.histogram("spf.hold_ms", buckets=(200, 1000, 10000)).observe(200)
+    print(registry.render())
+
+Metric instances are memoized by ``(name, labels)``: asking twice for the
+same counter returns the same object, so hot paths can either cache the
+instance or re-look it up cheaply.  A name is permanently bound to one
+metric type; reusing it with a different type raises, which catches typos
+that would otherwise silently split a series.
+
+Everything here is plain Python ints/floats — no locks (the simulator is
+single-threaded) and no external dependencies.  ``snapshot()`` gives a
+JSON-safe dict, ``render()`` a prometheus-exposition-flavoured text dump.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Canonical key for a labelled metric: name plus sorted label pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default histogram buckets, in milliseconds: spans the paper's timescales
+#: from per-hop delays (~0.017 ms) to SPF hold backoff (10 000 ms).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.1, 1.0, 5.0, 10.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 5_000.0, 10_000.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; also tracks its high watermark."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` semantics.
+
+    ``buckets`` are ascending upper bounds; an observation lands in the
+    first bucket whose bound is ``>= value`` (and always in the implicit
+    ``+Inf`` bucket, counted by ``count``).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        buckets: Sequence[float],
+    ) -> None:
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} buckets must strictly ascend: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        #: per-bound counts; the +Inf overflow bucket is ``count - sum(counts)``
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        index = bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            self.counts[index] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+Metric = object  # Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Process-wide (or per-simulator) home of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Metric] = {}
+        self._types: Dict[str, type] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls: type, name: str, labels: Dict[str, str], **extra):
+        declared = self._types.get(name)
+        if declared is not None and declared is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {declared.__name__}, "
+                f"requested {cls.__name__}"
+            )
+        key: MetricKey = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **extra)
+            self._metrics[key] = metric
+            self._types[name] = cls
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: str
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, labels, buckets=buckets or DEFAULT_MS_BUCKETS
+        )
+
+    def collect(self) -> Iterator[Metric]:
+        """All registered metric instances, sorted by (name, labels)."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        """The existing metric for (name, labels), or None (never creates)."""
+        key: MetricKey = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self._metrics.get(key)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe dump of every metric's current state."""
+        out: Dict[str, object] = {}
+        for metric in self.collect():
+            label_suffix = _label_text(metric.labels)
+            full = metric.name + label_suffix
+            if isinstance(metric, Counter):
+                out[full] = metric.value
+            elif isinstance(metric, Gauge):
+                out[full] = {"value": metric.value, "max": metric.max_value}
+            elif isinstance(metric, Histogram):
+                out[full] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": {str(b): c for b, c in metric.cumulative()},
+                }
+        return out
+
+    def render(self) -> str:
+        """Prometheus-exposition-flavoured text dump."""
+        lines: List[str] = []
+        for metric in self.collect():
+            label_suffix = _label_text(metric.labels)
+            if isinstance(metric, Counter):
+                lines.append(f"{metric.name}{label_suffix} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{metric.name}{label_suffix} {metric.value:g}")
+                lines.append(
+                    f"{metric.name}_max{label_suffix} {metric.max_value:g}"
+                )
+            elif isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative():
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    pairs = metric.labels + (("le", le),)
+                    lines.append(
+                        f"{metric.name}_bucket{_label_text(pairs)} {cumulative}"
+                    )
+                lines.append(f"{metric.name}_sum{label_suffix} {metric.sum:g}")
+                lines.append(f"{metric.name}_count{label_suffix} {metric.count}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and repeated experiments)."""
+        self._metrics.clear()
+        self._types.clear()
+
+
+def _label_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (simulators default to private ones)."""
+    return _DEFAULT

@@ -23,7 +23,7 @@ would only make the plain fabric look worse.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dataplane.node import SwitchNode
@@ -32,7 +32,7 @@ from ..net.fib import FibEntry
 from ..net.ip import Prefix
 from ..net.packet import Packet
 from ..sim.engine import Simulator, Timer
-from ..sim.units import Time, microseconds, milliseconds
+from ..sim.units import Time, milliseconds
 from .lsdb import Lsa, Lsdb
 from .spf import RouteTable, compute_routes
 

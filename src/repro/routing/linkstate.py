@@ -28,8 +28,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..net.fib import FibEntry
 from ..net.ip import Prefix
 from ..net.packet import Packet
+from ..obs.trace import (
+    EV_FIB_INSTALL,
+    EV_LSA_ACCEPT,
+    EV_LSA_ORIGINATE,
+    EV_SPF_RUN,
+    EV_SPF_SCHEDULE,
+)
 from ..sim.engine import Simulator, Timer
-from ..sim.units import Time
+from ..sim.units import MILLISECOND, Time
 from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
 from .lsdb import Lsa, Lsdb
@@ -66,6 +73,7 @@ class LinkStateProtocol:
         self.sim = sim
         self.switch = switch
         self.params = params
+        self._obs = sim.obs
         self.name = switch.name
         #: neighbors participating in the protocol (hosts never do)
         self._protocol_neighbors: Set[str] = set(switch_neighbors)
@@ -81,6 +89,7 @@ class LinkStateProtocol:
         self._installed: Dict[Prefix, FibEntry] = {}
         self._pending_routes: Optional[RouteTable] = None
         self._install_timer = Timer(sim, self._install_pending)
+        self._last_spf_at: Optional[Time] = None
         switch.routing_agent = self
 
     # ------------------------------------------------------------ lifecycle
@@ -105,6 +114,12 @@ class LinkStateProtocol:
             prefixes=self._advertised,
         )
         self.stats.lsas_originated += 1
+        obs = self._obs
+        obs.metrics.counter("lsa.originated").inc()
+        obs.trace.emit(
+            self.sim.now, EV_LSA_ORIGINATE, self.name,
+            seq=self._seq, neighbors=len(lsa.neighbors),
+        )
         self.lsdb.insert(lsa)
         self._flood([lsa], exclude=None)
         self._schedule_spf()
@@ -116,6 +131,7 @@ class LinkStateProtocol:
             if peer == exclude:
                 continue
             self.stats.lsas_flooded += len(lsas)
+            self._obs.metrics.counter("lsa.flooded").inc(len(lsas))
             self.switch.send_control(
                 peer, payload=tuple(lsas), size_bytes=self.params.lsa_size_bytes
             )
@@ -135,6 +151,12 @@ class LinkStateProtocol:
         if not accepted:
             return
         self.stats.lsas_accepted += len(accepted)
+        obs = self._obs
+        obs.metrics.counter("lsa.accepted").inc(len(accepted))
+        obs.trace.emit(
+            self.sim.now, EV_LSA_ACCEPT, self.name,
+            count=len(accepted), sender=sender,
+        )
         self._flood(accepted, exclude=sender)
         self._schedule_spf()
 
@@ -172,11 +194,24 @@ class LinkStateProtocol:
             self._hold_current = min(
                 2 * self._hold_current, self.params.spf_hold_max
             )
+        self._obs.trace.emit(
+            self.sim.now, EV_SPF_SCHEDULE, self.name,
+            delay=delay, hold=self._hold_current,
+        )
         self._spf_timer.start(delay)
 
     def _run_spf(self) -> None:
         self.stats.spf_runs += 1
         self.stats.hold_history.append(self._hold_current)
+        obs = self._obs
+        obs.metrics.counter("spf.runs").inc()
+        obs.metrics.histogram("spf.hold_ms").observe(
+            self._hold_current / MILLISECOND
+        )
+        obs.trace.emit(
+            self.sim.now, EV_SPF_RUN, self.name, hold=self._hold_current
+        )
+        self._last_spf_at = self.sim.now
         self._hold_expiry = self.sim.now + self._hold_current
         self._pending_routes = compute_routes(self.name, self.lsdb)
         self._install_timer.start(self.params.fib_update_delay)
@@ -189,10 +224,13 @@ class LinkStateProtocol:
         self._pending_routes = None
         self.stats.fib_installs += 1
         fib = self.switch.fib
+        withdrawn = 0
+        installed = 0
         for prefix in list(self._installed):
             if prefix not in routes:
                 fib.withdraw(prefix)
                 del self._installed[prefix]
+                withdrawn += 1
         for prefix, next_hops in routes.items():
             current = self._installed.get(prefix)
             if current is not None and current.next_hops == next_hops:
@@ -200,6 +238,18 @@ class LinkStateProtocol:
             entry = FibEntry(prefix, next_hops, source=SOURCE)
             fib.install(entry)
             self._installed[prefix] = entry
+            installed += 1
+        obs = self._obs
+        obs.metrics.counter("fib.installs").inc()
+        if self._last_spf_at is not None:
+            obs.metrics.histogram("fib.install_latency_ms").observe(
+                (self.sim.now - self._last_spf_at) / MILLISECOND
+            )
+        obs.trace.emit(
+            self.sim.now, EV_FIB_INSTALL, self.name,
+            installed=installed, withdrawn=withdrawn,
+            changed=installed + withdrawn,
+        )
 
     # ------------------------------------------------------------- queries
 

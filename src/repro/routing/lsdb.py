@@ -10,7 +10,7 @@ refresh interval).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..net.ip import Prefix
 

@@ -32,7 +32,7 @@ downward failure is again bridged locally while path hunting plays out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dataplane.node import SwitchNode

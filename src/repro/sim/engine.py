@@ -14,20 +14,33 @@ Design notes
   so that, e.g., a link-down event at time *t* takes effect before packet
   deliveries scheduled for the same *t*.
 * The ``sequence`` counter makes ordering total and deterministic.
+* Cancelled events are tracked and the heap is **lazily compacted** when
+  more than half of it is dead weight, so long runs with heavy
+  :class:`Timer` restart churn keep the queue proportional to the number of
+  *live* events.
+* Every simulator carries an :class:`~repro.obs.Observability` facade
+  (``sim.obs``) — disabled by default, in which case the loop pays one
+  boolean check per event and nothing else.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .units import Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 #: Priority for control events (failures, timers) — runs before deliveries.
 PRIORITY_CONTROL = 0
 #: Default priority for ordinary model events.
 PRIORITY_NORMAL = 10
+
+#: Queues smaller than this are never compacted (rebuild cost dwarfs gain).
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(Exception):
@@ -42,15 +55,17 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Opaque handle for a scheduled event; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> Time:
@@ -64,7 +79,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already ran or was cancelled."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._sim._note_cancelled()
 
 
 class Simulator:
@@ -77,12 +96,21 @@ class Simulator:
         sim.run(until=seconds(1))
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional["Observability"] = None) -> None:
+        if obs is None:
+            # Local import: repro.obs transitively imports repro.sim.units,
+            # so a module-level import here would be circular.
+            from ..obs import Observability
+
+            obs = Observability(enabled=False)
+        #: the simulator's observability facade (trace recorder + metrics)
+        self.obs = obs
         self._queue: list[_Event] = []
         self._now: Time = 0
         self._sequence: int = 0
         self._running = False
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> Time:
@@ -96,8 +124,20 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still scheduled (cancelled excluded)."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a cancellation; compacts the heap when more than
+        half of it is cancelled dead weight (lazy, amortised O(1))."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     def schedule(
         self,
@@ -126,7 +166,7 @@ class Simulator:
         event = _Event(time, priority, self._sequence, callback, args)
         self._sequence += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def run(self, until: Optional[Time] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -139,20 +179,33 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        obs = self.obs
+        enabled = obs.enabled
+        if enabled:
+            executed_ctr = obs.metrics.counter("sim.events_executed")
+            cancelled_ctr = obs.metrics.counter("sim.cancelled_skipped")
+            depth_gauge = obs.metrics.gauge("sim.queue_depth")
         try:
             while self._queue:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_pending -= 1
+                    if enabled:
+                        cancelled_ctr.inc()
                     continue
                 if until is not None and event.time >= until:
                     self._now = until
                     return
                 heapq.heappop(self._queue)
                 self._now = event.time
+                event.done = True
                 event.callback(*event.args)
                 self._events_processed += 1
                 executed += 1
+                if enabled:
+                    executed_ctr.inc()
+                    depth_gauge.set(len(self._queue))
                 if max_events is not None and executed >= max_events:
                     return
             if until is not None and until > self._now:
@@ -165,8 +218,10 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
+            event.done = True
             event.callback(*event.args)
             self._events_processed += 1
             return True

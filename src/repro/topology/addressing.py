@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..net.ip import IPv4Address, Prefix
-from .graph import Node, NodeKind, Topology, TopologyError
+from .graph import NodeKind, Topology, TopologyError
 
 #: The prefix covering every host in the DCN (backup route #3 in Table II).
 DCN_PREFIX = Prefix("10.11.0.0/16")

@@ -25,7 +25,7 @@ connections are discarded, not closed), unlimited receive window.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..dataplane.node import HostNode, NetworkNode

@@ -8,7 +8,7 @@ measurement granularity of the "duration of connectivity loss").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..dataplane.node import HostNode, NetworkNode

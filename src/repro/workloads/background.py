@@ -9,7 +9,7 @@ paper's run: 1500 flows over 600 s).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..dataplane.network import Network

@@ -9,7 +9,6 @@ scored against the 250 ms deadline [23].
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..dataplane.network import Network

@@ -11,7 +11,7 @@ from repro.topology.addressing import (
     assign_addresses,
 )
 from repro.topology.fattree import fat_tree
-from repro.topology.graph import LinkKind, Node, NodeKind, Topology, TopologyError
+from repro.topology.graph import Node, NodeKind, Topology, TopologyError
 from repro.topology.leafspine import leaf_spine
 
 

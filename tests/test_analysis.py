@@ -20,7 +20,7 @@ from repro.core.f2tree import f2tree
 from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
 from repro.failures.scenarios import build_scenario
 from repro.net.packet import PROTO_UDP
-from repro.sim.units import milliseconds, seconds
+from repro.sim.units import milliseconds
 from repro.topology.fattree import fat_tree
 from repro.topology.graph import NodeKind
 from repro.transport.udp import UdpSender, UdpSink

@@ -11,11 +11,9 @@ from repro.core.backup_routes import (
     render_routing_table,
     ring_neighbors_of,
 )
-from repro.core.f2tree import f2tree, rewire_fat_tree_prototype
+from repro.core.f2tree import f2tree
 from repro.dataplane.network import Network
-from repro.net.ip import Prefix
 from repro.topology.addressing import COVERING_PREFIX, DCN_PREFIX
-from repro.topology.fattree import fat_tree
 from repro.topology.graph import NodeKind
 
 

@@ -10,7 +10,6 @@ from repro.analysis.census import (
     render_census,
 )
 from repro.core.f2tree import f2tree
-from repro.core.failure_analysis import FailureCondition
 from repro.core.validation import (
     Severity,
     render_findings,
@@ -139,7 +138,6 @@ class TestValidation:
 
     def test_missing_ring_member_flagged(self):
         from repro.dataplane.network import Network
-        from repro.core.backup_routes import configure_backup_routes
         from repro.topology.graph import LinkKind
 
         topo = f2tree(6)

@@ -135,3 +135,33 @@ class TestCli:
     def test_every_artifact_is_callable(self):
         for name, (fn, description) in ARTIFACTS.items():
             assert callable(fn) and description
+
+
+class TestCliRecoverReport:
+    def test_recover_writes_trace_and_report_rereads_it(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "recover", "--topology", "f2tree", "--trace", str(trace), "--json"
+        ]) == 0
+        captured = capsys.readouterr()
+        import json
+
+        breakdown = json.loads(captured.out)
+        assert breakdown["mechanism"] == "fast-reroute"
+        assert "wrote" in captured.err
+        assert trace.exists()
+
+        # the saved trace re-analyzes to the same decomposition
+        assert main(["report", str(trace), "--json"]) == 0
+        reread = json.loads(capsys.readouterr().out)
+        assert reread == breakdown
+
+        assert main(["report", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "fast-reroute" in text and "detect" in text
+
+    def test_report_rejects_undecipherable_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 1
+        assert "cannot analyze" in capsys.readouterr().err

@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.experiments.common import (
-    Bundle,
     build_bundle,
     full_scale,
     hosts_left_to_right,
@@ -23,7 +22,6 @@ from repro.experiments.conditions import (
 from repro.experiments.partition_aggregate import PartitionAggregateConfig
 from repro.experiments.recovery import default_failed_links, run_recovery
 from repro.experiments.testbed import TableThreeRow, render_table_three
-from repro.failures.scenarios import build_scenario
 from repro.sim.units import seconds
 from repro.topology.fattree import fat_tree
 from repro.core.f2tree import f2tree

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.failure_analysis import FailureCondition
 from repro.experiments.conditions import run_condition
 from repro.experiments.recovery import reroute_delay_microseconds
 from repro.sim.units import milliseconds, seconds

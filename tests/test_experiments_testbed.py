@@ -13,7 +13,7 @@ import pytest
 from repro.experiments.recovery import reroute_delay_microseconds, run_recovery
 # alias: pytest would otherwise collect the "test*"-named import as a test
 from repro.experiments.testbed import run_testbed, testbed_topology as make_testbed
-from repro.sim.units import milliseconds, seconds
+from repro.sim.units import milliseconds
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ from repro.core.failure_analysis import (
     FailureCondition,
     agg_down_peer,
     analyze_scenario,
-    classify_downward_failure,
     core_down_peer,
 )
 from repro.topology.graph import NodeKind

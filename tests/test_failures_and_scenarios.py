@@ -24,7 +24,6 @@ from repro.failures.scenarios import (
 from repro.dataplane.network import Network
 from repro.sim.randomness import RandomStreams
 from repro.sim.units import milliseconds, seconds
-from repro.topology.fattree import fat_tree
 from repro.topology.graph import NodeKind, TopologyError
 
 

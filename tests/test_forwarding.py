@@ -17,9 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro.dataplane.network import Network
-from repro.dataplane.params import NetworkParams
-from repro.net.fib import FibEntry, LOCAL
-from repro.net.ip import IPv4Address, Prefix
+from repro.net.fib import FibEntry
+from repro.net.ip import IPv4Address
 from repro.net.packet import PROTO_UDP, Packet, WIRE_OVERHEAD
 from repro.sim.units import milliseconds, seconds
 from repro.topology.addressing import DCN_PREFIX

@@ -8,7 +8,6 @@ import pytest
 from repro.dataplane.network import Network
 from repro.dataplane.params import NetworkParams
 from repro.net.ip import Prefix
-from repro.net.packet import PROTO_UDP
 from repro.routing.linkstate import deploy_linkstate
 from repro.sim.units import milliseconds, seconds
 from repro.topology.fattree import fat_tree

@@ -8,7 +8,6 @@ exactly the first hops of all shortest paths.
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.ip import Prefix

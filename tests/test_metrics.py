@@ -12,6 +12,7 @@ from repro.metrics.requests import (
     reduction_ratio,
 )
 from repro.metrics.timeseries import (
+    ThroughputBin,
     connectivity_gaps,
     connectivity_loss_duration,
     pre_failure_average,
@@ -57,6 +58,15 @@ class TestThroughputSeries:
     def test_bad_bin_width_rejected(self):
         with pytest.raises(ValueError):
             throughput_series([], 0, 100, 0)
+
+    def test_empty_window_yields_no_bins(self):
+        deliveries = [(milliseconds(1), 100)]
+        assert throughput_series(deliveries, milliseconds(10), milliseconds(10)) == []
+        assert throughput_series(deliveries, milliseconds(10), milliseconds(5)) == []
+
+    def test_mbps_derivation(self):
+        # 125 B in a 1 ms bin = 1000 bits / 1e-3 s = 1 Mbps exactly
+        assert ThroughputBin(0, milliseconds(1), 125).mbps == pytest.approx(1.0)
 
     @given(st.lists(st.tuples(
         st.integers(min_value=0, max_value=10_000_000),
@@ -145,6 +155,14 @@ class TestCollapse:
         text = render_throughput(bins, failure_time=milliseconds(100))
         assert "failure" in text
         assert "Mbps" in text
+
+    def test_render_no_bins(self):
+        assert render_throughput([]) == "(no data)"
+
+    def test_render_all_zero_bins_says_so(self):
+        bins = throughput_series([], 0, milliseconds(100))
+        text = render_throughput(bins)
+        assert text == "(no traffic in any bin)"
 
 
 class TestRequestStats:

@@ -7,7 +7,6 @@ import pytest
 from repro.dataplane.network import Network
 from repro.net.fib import LOCAL
 from repro.sim.units import milliseconds
-from repro.topology.fattree import fat_tree
 from repro.topology.graph import NodeKind, TopologyError
 
 

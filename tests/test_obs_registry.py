@@ -1,0 +1,130 @@
+"""Tests for the metrics registry: memoization, types, bucket semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_MS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("pkt.forwarded").inc()
+        reg.counter("pkt.forwarded").inc(3)
+        assert reg.counter("pkt.forwarded").value == 4
+
+    def test_counter_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_same_labels_memoize_to_one_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("pkt.dropped", reason="down", node="s1")
+        b = reg.counter("pkt.dropped", node="s1", reason="down")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_different_labels_split_the_series(self):
+        reg = MetricsRegistry()
+        reg.counter("pkt.dropped", reason="down").inc()
+        reg.counter("pkt.dropped", reason="ttl").inc(2)
+        assert reg.counter("pkt.dropped", reason="down").value == 1
+        assert reg.counter("pkt.dropped", reason="ttl").value == 2
+
+    def test_get_never_creates(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert len(reg) == 0
+
+
+class TestGauges:
+    def test_gauge_tracks_high_watermark(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("sim.queue_depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2 and gauge.max_value == 5
+
+    def test_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 2 and gauge.max_value == 3
+
+
+class TestHistograms:
+    def test_bucket_boundaries_are_le_inclusive(self):
+        hist = Histogram("h", (), buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 1.5, 10.0, 10.5, 1000.0):
+            hist.observe(value)
+        # le semantics: an observation equal to the bound lands in it
+        assert hist.cumulative() == [
+            (1.0, 2),          # 0.5, 1.0
+            (10.0, 4),         # + 1.5, 10.0
+            (100.0, 5),        # + 10.5
+            (float("inf"), 6),  # + 1000.0 (overflow bucket)
+        ]
+        assert hist.count == 6
+        assert hist.mean == pytest.approx(sum((0.5, 1.0, 1.5, 10.0, 10.5, 1000.0)) / 6)
+
+    def test_buckets_must_strictly_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=())
+
+    def test_default_buckets_span_paper_timescales(self):
+        hist = MetricsRegistry().histogram("fib.install_latency_ms")
+        assert hist.buckets == DEFAULT_MS_BUCKETS
+        assert hist.buckets[0] <= 0.017  # per-hop delay
+        assert hist.buckets[-1] >= 10_000  # max SPF hold
+
+
+class TestRegistry:
+    def test_name_bound_to_one_type(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c", node="s1").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap['c{node="s1"}'] == 2
+        assert snap["g"] == {"value": 1.5, "max": 1.5}
+        assert snap["h"]["count"] == 1
+        json.dumps(snap)  # must not raise
+
+    def test_render_prometheus_flavour(self):
+        reg = MetricsRegistry()
+        reg.counter("spf.runs", node="agg-0-0").inc()
+        reg.histogram("hold", buckets=(1.0, 2.0)).observe(1.5)
+        text = reg.render()
+        assert 'spf.runs{node="agg-0-0"} 1' in text
+        assert 'hold_bucket{le="2"} 1' in text
+        assert 'hold_bucket{le="+Inf"} 1' in text
+        assert "hold_count 1" in text
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+        reg.gauge("x")  # type binding also cleared
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()

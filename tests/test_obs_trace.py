@@ -1,0 +1,102 @@
+"""Tests for the trace recorder: gating, ring bound, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    EV_LINK_FAIL,
+    EV_PKT_DELIVER,
+    NULL_TRACE,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+    replay,
+)
+
+
+class TestRecorder:
+    def test_records_in_emission_order(self):
+        rec = TraceRecorder()
+        rec.emit(5, "a.x", "n1", foo=1)
+        rec.emit(3, "a.y", "n2")
+        assert [e.kind for e in rec] == ["a.x", "a.y"]
+        assert rec.events()[0].data == {"foo": 1}
+        assert len(rec) == 2
+
+    def test_disabled_recorder_is_a_noop(self):
+        rec = TraceRecorder(enabled=False)
+        rec.emit(1, "a.x")
+        assert len(rec) == 0 and rec.evicted == 0
+
+    def test_null_trace_never_records(self):
+        NULL_TRACE.emit(1, "a.x")
+        assert len(NULL_TRACE) == 0
+
+    def test_kind_and_node_filters(self):
+        rec = TraceRecorder()
+        rec.emit(1, EV_PKT_DELIVER, "h1")
+        rec.emit(2, EV_PKT_DELIVER, "h2")
+        rec.emit(3, EV_LINK_FAIL, "h1")
+        assert len(rec.events(kind=EV_PKT_DELIVER)) == 2
+        assert len(rec.events(node="h1")) == 2
+        assert len(rec.events(kind=EV_PKT_DELIVER, node="h1")) == 1
+
+    def test_clear_resets_events_and_eviction_count(self):
+        rec = TraceRecorder(capacity=1)
+        rec.emit(1, "a")
+        rec.emit(2, "b")
+        assert rec.evicted == 1
+        rec.clear()
+        assert len(rec) == 0 and rec.evicted == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=-1)
+
+
+class TestRingBound:
+    def test_ring_evicts_oldest_beyond_capacity(self):
+        rec = TraceRecorder(capacity=3)
+        for t in range(5):
+            rec.emit(t, "tick")
+        assert len(rec) == 3
+        assert [e.time for e in rec] == [2, 3, 4]
+        assert rec.evicted == 2
+
+    def test_default_capacity_is_bounded(self):
+        rec = TraceRecorder()
+        assert rec.capacity == DEFAULT_CAPACITY
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit(10, EV_LINK_FAIL, "tor-0-0<->agg-0-0")
+        rec.emit(20, EV_PKT_DELIVER, "h1", dport=7000, size=1448)
+        path = tmp_path / "trace.jsonl"
+        assert rec.write_jsonl(path) == 2
+        events = read_jsonl(path)
+        assert events == rec.events()
+
+    def test_lines_are_plain_json_objects(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit(10, "a.b", "n", k=1)
+        path = tmp_path / "trace.jsonl"
+        rec.write_jsonl(path)
+        record = json.loads(path.read_text().strip())
+        assert record == {"t": 10, "kind": "a.b", "node": "n", "data": {"k": 1}}
+
+    def test_from_json_defaults_optional_fields(self):
+        event = TraceEvent.from_json('{"t": 1, "kind": "x"}')
+        assert event.node == "" and event.data == {}
+
+
+class TestReplay:
+    def test_replay_prefills_a_recorder(self):
+        source = [TraceEvent(1, "a"), TraceEvent(2, "b", "n", {"k": 3})]
+        rec = replay(source, capacity=10)
+        assert rec.events() == source

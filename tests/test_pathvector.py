@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import build_bundle
-from repro.net.ip import Prefix
 from repro.routing.pathvector import PathVectorParams
 from repro.sim.units import milliseconds, seconds
 from repro.topology.fattree import fat_tree

@@ -27,7 +27,7 @@ from repro.core.failure_analysis import FailureCondition, analyze_scenario
 from repro.core.f2tree import f2tree
 from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
 from repro.net.packet import PROTO_UDP
-from repro.topology.graph import LinkKind, NodeKind
+from repro.topology.graph import NodeKind
 
 _STATE: Dict[str, object] = {}
 

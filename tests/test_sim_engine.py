@@ -12,7 +12,7 @@ from repro.sim.engine import (
     Simulator,
     Timer,
 )
-from repro.sim.units import MILLISECOND, SECOND, milliseconds
+from repro.sim.units import SECOND, milliseconds
 
 
 def test_starts_at_time_zero():
@@ -186,6 +186,107 @@ def test_cancellation_removes_exactly_the_cancelled(delays, data):
         handles[index].cancel()
     sim.run()
     assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+class TestPendingEvents:
+    def test_counts_only_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending_events == 3
+
+    def test_cancel_after_execution_does_not_corrupt_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        handle.cancel()  # no-op: already executed
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_draining_cancelled_events_reaches_zero(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 5
+
+
+class TestHeapCompaction:
+    def test_compaction_shrinks_the_queue(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(100)]
+        for handle in handles[:60]:
+            handle.cancel()
+        # once more than half the heap was dead weight it was compacted
+        assert len(sim._queue) < 100
+        assert sim.pending_events == 40
+
+    def test_small_queues_never_compact(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert len(sim._queue) == 10  # below _COMPACT_MIN_QUEUE: lazy skip
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_execution_order_survives_compaction(self):
+        sim = Simulator()
+        fired = []
+        handles = {}
+        for i in range(120):
+            handles[i] = sim.schedule(
+                1000 - i, lambda i=i: fired.append(i)
+            )
+        for i in range(0, 120, 2):
+            handles[i].cancel()  # 60 of 120 cancelled -> compaction kicks in
+        sim.run()
+        assert fired == sorted(
+            (i for i in range(120) if i % 2), key=lambda i: 1000 - i
+        )
+
+    def test_timer_churn_keeps_queue_bounded(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        for _ in range(10_000):
+            timer.start(SECOND)  # each restart cancels the previous event
+        assert len(sim._queue) < 200
+        assert sim.pending_events == 1
+
+
+class TestEngineMetrics:
+    def test_event_counters_when_enabled(self):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        sim = Simulator(obs=obs)
+        handle = sim.schedule(5, lambda: None)
+        sim.schedule(1, handle.cancel)
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert obs.metrics.counter("sim.events_executed").value == 2
+        assert obs.metrics.counter("sim.cancelled_skipped").value == 1
+
+    def test_disabled_obs_registers_nothing(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(sim.obs.metrics) == 0
+        assert len(sim.obs.trace) == 0
 
 
 class TestTimer:

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.net.ip import IPv4Address
-from repro.sim.engine import Simulator
-from repro.transport.tcp import FLAG_ACK, TcpConnection, TcpParams, TcpSegment
+from repro.transport.tcp import FLAG_ACK, TcpSegment
 
-from tests.test_tcp import FakeHost, established_client
+from tests.test_tcp import established_client
 
 
 def segments_for(total_bytes: int, mss: int = 1000):

@@ -7,8 +7,6 @@ import pytest
 from repro.dataplane.link import RuntimeLink
 from repro.dataplane.params import NetworkParams
 from repro.experiments.extensions import run_unidirectional
-from repro.net.ip import IPv4Address
-from repro.net.packet import PROTO_UDP, Packet
 from repro.sim.engine import Simulator
 from repro.sim.units import milliseconds
 from repro.topology.graph import Link as LinkSpec, LinkKind
