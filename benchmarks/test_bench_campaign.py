@@ -1,0 +1,83 @@
+"""Campaign-runner benchmark: deterministic sharding at speed.
+
+Runs the SPF-timer sweep twice — serial (``workers=1``) and fanned out
+over ``min(4, cpu_count)`` worker processes — and checks the two promises
+of :mod:`repro.campaign`:
+
+* **determinism**: the deterministic JSON reports are byte-identical;
+* **speedup**: with >= 4 cores the parallel run finishes in at most half
+  the serial wall-clock (near-linear sharding of independent trials).
+
+The measurement is recorded in ``BENCH_campaign.json`` at the repo root
+so CI runs leave an auditable record of the hardware they measured on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.campaign import run_campaign
+from repro.campaign.sweeps import spf_timer_specs
+
+BENCH_FILE = pathlib.Path(__file__).parent.parent / "BENCH_campaign.json"
+
+#: the acceptance bar: parallel wall-clock <= this fraction of serial,
+#: enforced only where the hardware can actually deliver it
+SPEEDUP_BAR = 0.5
+MIN_CORES_FOR_BAR = 4
+
+
+def test_bench_campaign_parallel_speedup(benchmark, emit):
+    cpu_count = os.cpu_count() or 1
+    workers = min(4, cpu_count)
+    specs = spf_timer_specs()
+
+    t0 = time.monotonic()
+    serial = run_campaign(specs, name="spf-timer", workers=1)
+    serial_s = time.monotonic() - t0
+
+    def parallel_run():
+        t = time.monotonic()
+        report = run_campaign(specs, name="spf-timer", workers=workers)
+        return report, time.monotonic() - t
+
+    parallel, parallel_s = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1
+    )
+
+    serial_json = serial.to_json()
+    identical = serial_json == parallel.to_json()
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+
+    record = {
+        "campaign": "spf-timer",
+        "trials": len(specs),
+        "cpu_count": cpu_count,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+        "speedup_bar_enforced": cpu_count >= MIN_CORES_FOR_BAR,
+    }
+    BENCH_FILE.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    emit(
+        "Campaign runner: SPF-timer sweep, serial vs parallel\n"
+        f"  trials:   {len(specs)} (f2tree + fat-tree x 4 SPF delays)\n"
+        f"  cores:    {cpu_count} (using {workers} workers)\n"
+        f"  serial:   {serial_s:7.1f} s\n"
+        f"  parallel: {parallel_s:7.1f} s  ({speedup:.2f}x)\n"
+        f"  reports byte-identical: {identical}"
+    )
+
+    assert serial.require_success() and parallel.require_success()
+    assert identical, "parallel report diverged from serial"
+    if cpu_count >= MIN_CORES_FOR_BAR:
+        assert parallel_s <= SPEEDUP_BAR * serial_s, (
+            f"expected <= {SPEEDUP_BAR}x serial wall-clock on "
+            f"{cpu_count} cores, got {parallel_s / serial_s:.2f}x"
+        )

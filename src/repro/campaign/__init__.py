@@ -1,0 +1,87 @@
+"""Parallel experiment campaigns with deterministic sharding.
+
+The sweep subsystem the ROADMAP's "as fast as the hardware allows" goal
+needs: declare a grid of independent trials (:mod:`repro.campaign.spec`),
+fan them out over worker processes with per-trial timeouts, crash retry
+and partial-results aggregation (:mod:`repro.campaign.runner`), and get
+one deterministic report back (:mod:`repro.campaign.report`) — identical
+bytes whether the campaign ran on 1 worker or 16.
+
+Quick use::
+
+    from repro.campaign import TrialSpec, run_campaign
+
+    specs = [
+        TrialSpec.make("recovery", topology=t, scenario="C1", seed=s)
+        for t in ("fat-tree", "f2tree") for s in (1, 2, 3)
+    ]
+    report = run_campaign(specs, name="c1-sweep", workers=4, timeout=120)
+    print(report.render())
+    open("report.json", "w").write(report.to_json())
+
+or from the command line: ``python -m repro sweep spf-timer --workers 4``.
+"""
+
+from __future__ import annotations
+
+from .report import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CampaignReport,
+    TrialRecord,
+)
+from .runner import (
+    DEFAULT_RETRIES,
+    TrialOutcome,
+    TrialTimeout,
+    execute_trial,
+    run_campaign,
+)
+from .spec import (
+    CampaignError,
+    TrialContext,
+    TrialSpec,
+    grid,
+    register_trial,
+    registered_kinds,
+    resolve_seeds,
+    trial_runner,
+)
+from .sweeps import (
+    SWEEPS,
+    SweepDef,
+    congestion_specs,
+    detection_delay_specs,
+    effective_workers,
+    figure_four_specs,
+    spf_timer_specs,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "DEFAULT_RETRIES",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "SWEEPS",
+    "SweepDef",
+    "TrialContext",
+    "TrialOutcome",
+    "TrialRecord",
+    "TrialSpec",
+    "TrialTimeout",
+    "congestion_specs",
+    "detection_delay_specs",
+    "effective_workers",
+    "execute_trial",
+    "figure_four_specs",
+    "grid",
+    "register_trial",
+    "registered_kinds",
+    "resolve_seeds",
+    "run_campaign",
+    "spf_timer_specs",
+    "trial_runner",
+]

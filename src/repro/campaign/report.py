@@ -1,0 +1,184 @@
+"""Campaign results: per-trial records and the aggregate report.
+
+The report has a **deterministic core** — trial identities, parameters,
+seeds, statuses and payloads, sorted by trial id — and a separate
+**timing section** (wall-clock durations, worker count).  ``to_json()``
+emits only the core by default, which is what makes the determinism
+guarantee testable: the same campaign run with 1 worker and with N
+workers must produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .spec import CampaignError, TrialSpec
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class TrialRecord:
+    """The outcome of one trial (including its failures)."""
+
+    spec: TrialSpec
+    status: str
+    attempts: int = 1
+    payload: Optional[Dict[str, Any]] = None
+    #: "ExcType: message" for failed trials
+    error: Optional[str] = None
+    #: full traceback text (kept out of the deterministic JSON)
+    traceback: Optional[str] = None
+    #: snapshot of the trial's metrics registry (deterministic)
+    metrics: Optional[Dict[str, Any]] = None
+    #: wall-clock seconds of the last attempt (nondeterministic)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The deterministic per-trial report entry."""
+        return {
+            "id": self.spec.trial_id,
+            "kind": self.spec.kind,
+            "params": self.spec.param_dict(),
+            "seed": self.spec.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "payload": self.payload,
+            "error": self.error,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of every trial of one campaign run."""
+
+    name: str
+    records: List[TrialRecord] = field(default_factory=list)
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.records.sort(key=lambda r: r.spec.trial_id)
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def succeeded(self) -> List[TrialRecord]:
+        return [r for r in self.records if r.status == STATUS_OK]
+
+    @property
+    def failed(self) -> List[TrialRecord]:
+        return [r for r in self.records if r.status != STATUS_OK]
+
+    def record(self, trial_id: str) -> TrialRecord:
+        for r in self.records:
+            if r.spec.trial_id == trial_id:
+                return r
+        raise KeyError(trial_id)
+
+    def payloads(self) -> Dict[str, Dict[str, Any]]:
+        """trial id -> payload for every successful trial."""
+        return {
+            r.spec.trial_id: dict(r.payload or {}) for r in self.succeeded
+        }
+
+    def payload_for(self, spec: TrialSpec) -> Dict[str, Any]:
+        """The payload of the trial matching ``spec`` (must have succeeded)."""
+        record = self.record(spec.trial_id)
+        if not record.ok:
+            raise CampaignError(
+                f"trial {spec.trial_id} {record.status}: {record.error}"
+            )
+        assert record.payload is not None
+        return record.payload
+
+    def require_success(self) -> "CampaignReport":
+        """Raise (listing every failure) unless all trials succeeded."""
+        if self.failed:
+            lines = [
+                f"  {r.spec.trial_id}: [{r.status}] {r.error}" for r in self.failed
+            ]
+            raise CampaignError(
+                f"campaign {self.name!r}: {len(self.failed)} of "
+                f"{len(self.records)} trials failed:\n" + "\n".join(lines)
+            )
+        return self
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "campaign": self.name,
+            "summary": {
+                "total": len(self.records),
+                "ok": len(self.succeeded),
+                "failed": sum(
+                    1 for r in self.records if r.status == STATUS_FAILED
+                ),
+                "timeout": sum(
+                    1 for r in self.records if r.status == STATUS_TIMEOUT
+                ),
+            },
+            "trials": [r.to_dict() for r in self.records],
+        }
+        if include_timing:
+            out["execution"] = {
+                "workers": self.workers,
+                "wall_s": round(self.wall_s, 3),
+                "trial_s": {
+                    r.spec.trial_id: round(r.duration_s, 3)
+                    for r in self.records
+                },
+            }
+        return out
+
+    def to_json(self, include_timing: bool = False, indent: int = 2) -> str:
+        """Canonical JSON: sorted keys, stable float formatting.
+
+        With ``include_timing=False`` (the default) the output is a pure
+        function of the specs and their seeds — byte-identical no matter
+        how many workers executed the campaign.
+        """
+        return json.dumps(
+            self.to_dict(include_timing=include_timing),
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """ASCII summary table (one row per trial)."""
+        lines = [
+            f"campaign {self.name}: {len(self.succeeded)}/{len(self.records)} "
+            f"trials ok, {self.workers} worker(s), {self.wall_s:.1f}s wall",
+            f"{'trial':<58} {'status':<8} {'att':>3} {'secs':>7}  result",
+        ]
+        for r in self.records:
+            if r.ok:
+                detail = ", ".join(
+                    f"{k}={_compact(v)}" for k, v in sorted((r.payload or {}).items())
+                )
+            else:
+                detail = r.error or ""
+            lines.append(
+                f"{r.spec.trial_id:<58} {r.status:<8} {r.attempts:>3} "
+                f"{r.duration_s:>7.2f}  {detail}"
+            )
+        return "\n".join(lines)
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

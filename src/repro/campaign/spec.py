@@ -1,0 +1,185 @@
+"""Declarative trial specifications and the trial-kind registry.
+
+A campaign is a list of :class:`TrialSpec` values — plain, hashable,
+JSON-safe descriptions of one independent simulation trial (topology ×
+routing mode × failure scenario × seed × parameter overrides).  Keeping
+the spec declarative is what makes the campaign runner work: specs pickle
+cheaply across a :class:`~concurrent.futures.ProcessPoolExecutor`, sort
+deterministically into a stable report, and re-run bit-identically in any
+process because every source of randomness is pinned by the spec's seed
+(via :mod:`repro.sim.randomness`).
+
+Trial *kinds* are registered callables.  A runner receives a
+:class:`TrialContext` (seed, named random streams, observability facade)
+plus the spec's parameters, and returns a JSON-safe payload dict.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..obs import Observability
+from ..sim.randomness import RandomStreams, derive_seed
+
+#: Spec parameter values must be JSON/pickle-safe scalars.
+ParamValue = Any  # str | int | float | bool | None (validated at build time)
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class CampaignError(Exception):
+    """Raised for invalid campaign configurations or failed campaigns."""
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent trial of a campaign.
+
+    ``params`` is a tuple of sorted ``(name, value)`` pairs so specs are
+    hashable and their ``trial_id`` is stable regardless of construction
+    order.  ``seed`` of ``None`` means "derive deterministically from the
+    campaign seed and the trial id" (see :func:`resolve_seeds`).
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+    seed: Optional[int] = 1
+    #: per-trial wall-clock timeout in seconds (None: campaign default)
+    timeout: Optional[float] = None
+
+    @staticmethod
+    def make(
+        kind: str,
+        seed: Optional[int] = 1,
+        timeout: Optional[float] = None,
+        **params: ParamValue,
+    ) -> "TrialSpec":
+        """Build a spec, validating that every parameter is a scalar."""
+        for name, value in params.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                raise CampaignError(
+                    f"trial parameter {name!r} must be a JSON-safe scalar, "
+                    f"got {type(value).__name__}"
+                )
+        return TrialSpec(
+            kind=kind,
+            params=tuple(sorted(params.items())),
+            seed=seed,
+            timeout=timeout,
+        )
+
+    @property
+    def trial_id(self) -> str:
+        """Stable, human-readable identity: kind, params, seed."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        seed = "auto" if self.seed is None else str(self.seed)
+        return f"{self.kind}[{inner}]#{seed}"
+
+    def param_dict(self) -> Dict[str, ParamValue]:
+        return dict(self.params)
+
+
+def grid(
+    kind: str,
+    seeds: Iterable[Optional[int]] = (1,),
+    timeout: Optional[float] = None,
+    **axes: Any,
+) -> List[TrialSpec]:
+    """Expand a parameter grid into specs (cartesian product of axes).
+
+    Each keyword is one axis; a list/tuple value enumerates points, any
+    scalar is a fixed single-point axis.  Axes expand in sorted-name order
+    and seeds vary slowest, so the resulting spec list is deterministic::
+
+        grid("recovery", seeds=(1, 2), topology=("fat-tree", "f2tree"),
+             ports=8, scenario=("C1", "C4"))
+        # -> 2 seeds x 2 topologies x 2 scenarios = 8 specs
+    """
+    names = sorted(axes)
+    values: List[Tuple[ParamValue, ...]] = []
+    for name in names:
+        axis = axes[name]
+        if isinstance(axis, (list, tuple)):
+            values.append(tuple(axis))
+        else:
+            values.append((axis,))
+    specs: List[TrialSpec] = []
+    for seed in seeds:
+        for combo in itertools.product(*values):
+            specs.append(
+                TrialSpec.make(kind, seed=seed, timeout=timeout,
+                               **dict(zip(names, combo)))
+            )
+    return specs
+
+
+def resolve_seeds(specs: Iterable[TrialSpec], campaign_seed: int) -> List[TrialSpec]:
+    """Pin every ``seed=None`` spec to a deterministic derived seed.
+
+    Derivation hashes ``(campaign_seed, trial_id)`` through the same
+    SHA-256 scheme :class:`~repro.sim.randomness.RandomStreams` uses for
+    its named streams, so the mapping is stable across processes,
+    platforms and Python versions — the precondition for serial and
+    parallel campaign runs producing byte-identical reports.
+    """
+    resolved: List[TrialSpec] = []
+    for spec in specs:
+        if spec.seed is None:
+            spec = replace(spec, seed=derive_seed(campaign_seed, spec.trial_id))
+        resolved.append(spec)
+    return resolved
+
+
+@dataclass
+class TrialContext:
+    """What a trial runner gets besides its declarative parameters."""
+
+    seed: int
+    #: named random streams derived from the trial seed
+    streams: RandomStreams
+    #: per-trial observability facade; its metrics registry is snapshotted
+    #: into the campaign report after the trial returns
+    obs: Observability
+
+
+TrialRunner = Callable[..., Mapping[str, Any]]
+
+_REGISTRY: Dict[str, TrialRunner] = {}
+
+
+def register_trial(kind: str) -> Callable[[TrialRunner], TrialRunner]:
+    """Decorator registering a trial runner under ``kind``.
+
+    The runner is called as ``runner(ctx, **spec_params)`` and must return
+    a JSON-safe mapping (the trial's payload in the campaign report).
+    """
+
+    def decorate(fn: TrialRunner) -> TrialRunner:
+        existing = _REGISTRY.get(kind)
+        if existing is not None and existing is not fn:
+            raise CampaignError(f"trial kind {kind!r} already registered")
+        _REGISTRY[kind] = fn
+        return fn
+
+    return decorate
+
+
+def trial_runner(kind: str) -> TrialRunner:
+    """Look up a registered runner (with a helpful error on typos)."""
+    # built-in kinds register on import; make sure they exist before lookup
+    from . import trials  # noqa: F401  (import for registration side effect)
+
+    fn = _REGISTRY.get(kind)
+    if fn is None:
+        raise CampaignError(
+            f"unknown trial kind {kind!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+    return fn
+
+
+def registered_kinds() -> List[str]:
+    from . import trials  # noqa: F401
+
+    return sorted(_REGISTRY)

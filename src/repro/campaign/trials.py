@@ -1,0 +1,195 @@
+"""Built-in trial kinds: the paper's experiments as campaign trials.
+
+Each kind wraps one existing ``run_*`` entry point with a declarative,
+JSON-safe parameterization.  Network-parameter overrides travel as
+``net_<field>`` spec parameters (the flattened fields of
+:class:`~repro.dataplane.params.NetworkParams`), so a spec fully pins the
+trial and the report echoes the exact configuration that produced each
+number.
+
+Kinds
+-----
+``recovery``
+    One single-flow recovery run (:func:`repro.experiments.recovery.run_recovery`)
+    on a named topology, optionally under a Table IV scenario label.
+``condition``
+    One Fig 4 cell — a UDP and a TCP run of a Table IV condition on one
+    topology (:func:`repro.experiments.conditions.run_condition`).
+``congestion``
+    One load level of the backup-path congestion probe
+    (:func:`repro.experiments.congestion.run_reroute_congestion`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional, Tuple
+
+from ..dataplane.params import NetworkParams
+from ..sim.units import microseconds, to_milliseconds
+from .spec import CampaignError, TrialContext, register_trial
+
+#: spec-parameter prefix for flattened NetworkParams overrides
+NET_PREFIX = "net_"
+
+_NET_FIELDS = frozenset(asdict(NetworkParams()))
+
+
+def network_params_to_spec(params: Optional[NetworkParams]) -> Dict[str, Any]:
+    """Flatten a NetworkParams into ``net_*`` spec parameters."""
+    if params is None:
+        return {}
+    return {f"{NET_PREFIX}{k}": v for k, v in asdict(params).items()}
+
+
+def split_network_params(
+    params: Dict[str, Any],
+) -> Tuple[Optional[NetworkParams], Dict[str, Any]]:
+    """Split ``net_*`` overrides out of a spec's parameter dict.
+
+    Returns ``(NetworkParams or None, remaining params)``; unknown
+    ``net_*`` field names raise so typos fail loudly instead of silently
+    running with paper defaults.
+    """
+    overrides: Dict[str, Any] = {}
+    rest: Dict[str, Any] = {}
+    for key, value in params.items():
+        if key.startswith(NET_PREFIX):
+            name = key[len(NET_PREFIX):]
+            if name not in _NET_FIELDS:
+                raise CampaignError(f"unknown NetworkParams field {name!r}")
+            overrides[name] = value
+        else:
+            rest[key] = value
+    network = NetworkParams().with_overrides(**overrides) if overrides else None
+    return network, rest
+
+
+def _build_topology(topology: str, ports: int, across_ports: int):
+    from ..core.f2tree import f2tree
+    from ..topology.fattree import fat_tree
+    from ..topology.leafspine import leaf_spine
+    from ..topology.vl2 import vl2
+
+    if topology == "fat-tree":
+        return fat_tree(ports)
+    if topology == "f2tree":
+        return f2tree(ports, across_ports=across_ports)
+    if topology == "leaf-spine":
+        return leaf_spine(ports)
+    if topology == "vl2":
+        return vl2(ports)
+    raise CampaignError(f"unknown topology {topology!r}")
+
+
+@register_trial("recovery")
+def run_recovery_trial(
+    ctx: TrialContext,
+    topology: str = "f2tree",
+    ports: int = 8,
+    transport: str = "udp",
+    scenario: Optional[str] = None,
+    routing: str = "linkstate",
+    across_ports: int = 2,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One single-flow recovery run; the campaign's workhorse kind."""
+    from ..experiments.recovery import run_recovery
+
+    network_params, rest = split_network_params(params)
+    if rest:
+        raise CampaignError(f"unknown recovery trial parameters: {sorted(rest)}")
+    result = run_recovery(
+        _build_topology(topology, ports, across_ports),
+        transport,
+        scenario_label=scenario,
+        params=network_params,
+        seed=ctx.seed,
+        routing=routing,
+        obs=ctx.obs,
+    )
+    payload: Dict[str, Any] = {
+        "topology": result.topology,
+        "transport": transport,
+        "packets_lost": result.packets_lost,
+    }
+    if result.connectivity_loss is not None:
+        payload["connectivity_loss_ms"] = to_milliseconds(result.connectivity_loss)
+    if result.collapse_duration is not None:
+        payload["collapse_ms"] = to_milliseconds(result.collapse_duration)
+    return payload
+
+
+@register_trial("condition")
+def run_condition_trial(
+    ctx: TrialContext,
+    label: str = "C1",
+    topology: str = "f2tree",
+    ports: int = 8,
+    across_ports: int = 2,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One Fig 4 cell: UDP loss + packet count and TCP collapse for one
+    (condition, topology) pair."""
+    from ..experiments.conditions import run_condition
+
+    network_params, rest = split_network_params(params)
+    if rest:
+        raise CampaignError(f"unknown condition trial parameters: {sorted(rest)}")
+    udp = run_condition(
+        topology, label, "udp", ports, across_ports=across_ports,
+        params=network_params, seed=ctx.seed, obs=ctx.obs,
+    )
+    tcp = run_condition(
+        topology, label, "tcp", ports, across_ports=across_ports,
+        params=network_params, seed=ctx.seed, obs=ctx.obs,
+    )
+    if udp.result.connectivity_loss is None:
+        raise CampaignError(
+            f"condition {label}/{topology}: UDP run has no loss metric"
+        )
+    if tcp.result.collapse_duration is None:
+        raise CampaignError(
+            f"condition {label}/{topology}: TCP run has no collapse metric"
+        )
+    return {
+        "label": label,
+        "kind": topology,
+        "connectivity_loss_ms": to_milliseconds(udp.result.connectivity_loss),
+        "packets_lost": udp.result.packets_lost,
+        "collapse_ms": to_milliseconds(tcp.result.collapse_duration),
+        "fast_rerouted": udp.fast_rerouted,
+    }
+
+
+@register_trial("congestion")
+def run_congestion_trial(
+    ctx: TrialContext,
+    hot_flows: int = 2,
+    ports: int = 8,
+    per_flow_interval_us: float = 50.0,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One load level of the backup-path congestion probe."""
+    from ..experiments.congestion import run_reroute_congestion
+
+    network_params, rest = split_network_params(params)
+    if rest:
+        raise CampaignError(f"unknown congestion trial parameters: {sorted(rest)}")
+    result = run_reroute_congestion(
+        hot_flows,
+        per_flow_interval=microseconds(per_flow_interval_us),
+        ports=ports,
+        seed=ctx.seed,
+        params=network_params,
+        obs=ctx.obs,
+    )
+    return {
+        "n_hot_flows": result.n_hot_flows,
+        "offered_mbps_per_flow": result.offered_mbps_per_flow,
+        "reroute_delivery_ratio": result.reroute_delivery_ratio,
+        "post_convergence_delivery_ratio": result.post_convergence_delivery_ratio,
+        "across_utilization": result.across_utilization,
+        "across_queue_drops": result.across_queue_drops,
+        "saturated": result.saturated,
+    }

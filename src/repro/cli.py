@@ -270,6 +270,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the breakdown as JSON instead of the ASCII timeline",
     )
+    from .campaign.sweeps import SWEEPS
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment campaign, optionally across worker processes",
+    )
+    sweep.add_argument(
+        "sweep", choices=sorted(SWEEPS),
+        help="which campaign to run (see EXPERIMENTS.md for paper mapping)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial; results are "
+        "identical for any value)",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial wall-clock timeout in seconds",
+    )
+    sweep.add_argument(
+        "--ports", type=int, default=None,
+        help="switch port count of the swept topologies (default: sweep's own)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=1, help="master seed (default 1)",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N trials of the sweep (smoke tests)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic campaign report as JSON",
+    )
+    sweep.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the JSON report to this file",
+    )
     return parser
 
 
@@ -321,6 +359,34 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .campaign.runner import run_campaign
+    from .campaign.sweeps import SWEEPS
+
+    sweep = SWEEPS[args.sweep]
+    ports = args.ports if args.ports is not None else sweep.default_ports
+    specs = sweep.build(ports, args.seed, args.timeout)
+    if args.limit is not None:
+        specs = specs[: max(0, args.limit)]
+    if not specs:
+        print("sweep selected no trials", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        specs,
+        name=args.sweep,
+        workers=args.workers,
+        timeout=args.timeout,
+        campaign_seed=args.seed,
+    )
+    text = report.to_json() if args.json else report.render()
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json() + "\n")
+        print(f"wrote campaign report to {args.out}", file=sys.stderr)
+    return 0 if not report.failed else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -331,6 +397,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_recover(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

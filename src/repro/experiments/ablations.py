@@ -20,17 +20,23 @@ the arguments into measurements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..campaign.runner import run_campaign
+from ..campaign.sweeps import (
+    DEFAULT_DETECTION_DELAYS,
+    DEFAULT_SPF_DELAYS,
+    detection_delay_specs,
+    effective_workers,
+    spf_timer_specs,
+)
 from ..core.f2tree import f2tree
-from ..dataplane.params import NetworkParams
 from ..failures.scenarios import build_scenario
 from ..net.packet import PROTO_UDP
 from ..sim.units import Time, milliseconds, to_milliseconds
-from ..topology.fattree import fat_tree
 from .common import DEFAULT_WARMUP, build_bundle, leftmost_host, rightmost_host
 from .conditions import run_condition
-from .recovery import UDP_PORT, UDP_SPORT, run_recovery
+from .recovery import UDP_PORT, UDP_SPORT
 
 
 @dataclass
@@ -43,28 +49,33 @@ class SpfTimerPoint:
 
 
 def run_spf_timer_sweep(
-    delays: Sequence[Time] = (
-        milliseconds(10),
-        milliseconds(50),
-        milliseconds(200),
-        milliseconds(1000),
-    ),
+    delays: Sequence[Time] = DEFAULT_SPF_DELAYS,
     ports: int = 8,
     seed: int = 1,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[SpfTimerPoint]:
-    """Single downward failure (C1) under varying SPF initial delays."""
+    """Single downward failure (C1) under varying SPF initial delays.
+
+    Runs as a campaign: each (delay, topology) pair is one independent
+    trial, fanned out over ``workers`` processes (default: serial, or
+    ``REPRO_SWEEP_WORKERS``).  Results are identical for any worker count.
+    """
+    specs = spf_timer_specs(delays, ports=ports, seed=seed, timeout=timeout)
+    report = run_campaign(
+        specs, name="spf-timer", workers=effective_workers(workers),
+        timeout=timeout,
+    ).require_success()
     points: List[SpfTimerPoint] = []
-    for delay in delays:
-        params = NetworkParams().with_overrides(spf_initial_delay=delay)
-        fat = run_recovery(fat_tree(ports), "udp", params=params, seed=seed)
-        f2 = run_recovery(f2tree(ports), "udp", params=params, seed=seed)
-        assert fat.connectivity_loss is not None
-        assert f2.connectivity_loss is not None
+    for fat_spec, f2_spec in zip(specs[::2], specs[1::2]):
+        fat = report.payload_for(fat_spec)
+        f2 = report.payload_for(f2_spec)
+        delay = fat_spec.param_dict()["net_spf_initial_delay"]
         points.append(
             SpfTimerPoint(
                 spf_initial_delay_ms=to_milliseconds(delay),
-                fat_tree_loss_ms=to_milliseconds(fat.connectivity_loss),
-                f2tree_loss_ms=to_milliseconds(f2.connectivity_loss),
+                fat_tree_loss_ms=fat["connectivity_loss_ms"],
+                f2tree_loss_ms=f2["connectivity_loss_ms"],
             )
         )
     return points
@@ -77,28 +88,29 @@ class DetectionDelayPoint:
 
 
 def run_detection_delay_sweep(
-    delays: Sequence[Time] = (
-        milliseconds(1),
-        milliseconds(10),
-        milliseconds(30),
-        milliseconds(60),
-        milliseconds(120),
-    ),
+    delays: Sequence[Time] = DEFAULT_DETECTION_DELAYS,
     ports: int = 8,
     seed: int = 1,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[DetectionDelayPoint]:
-    """F²Tree recovery time as a function of the BFD-style detection delay."""
+    """F²Tree recovery time as a function of the BFD-style detection delay.
+
+    Campaign-backed like :func:`run_spf_timer_sweep` (one trial per delay).
+    """
+    specs = detection_delay_specs(delays, ports=ports, seed=seed, timeout=timeout)
+    report = run_campaign(
+        specs, name="detection-delay", workers=effective_workers(workers),
+        timeout=timeout,
+    ).require_success()
     points: List[DetectionDelayPoint] = []
-    for delay in delays:
-        params = NetworkParams().with_overrides(
-            detection_delay=delay, up_detection_delay=delay
-        )
-        result = run_recovery(f2tree(ports), "udp", params=params, seed=seed)
-        assert result.connectivity_loss is not None
+    for spec in specs:
+        payload = report.payload_for(spec)
+        delay = spec.param_dict()["net_detection_delay"]
         points.append(
             DetectionDelayPoint(
                 detection_delay_ms=to_milliseconds(delay),
-                f2tree_loss_ms=to_milliseconds(result.connectivity_loss),
+                f2tree_loss_ms=payload["connectivity_loss_ms"],
             )
         )
     return points

@@ -147,25 +147,37 @@ def run_figure_four(
     ports: int = 8,
     params: Optional[NetworkParams] = None,
     seed: int = 1,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[FigureFourRow]:
-    """All Fig 4 bars: C1-C5 on both topologies, C6-C7 on F²Tree only."""
+    """All Fig 4 bars: C1-C5 on both topologies, C6-C7 on F²Tree only.
+
+    Each (condition, topology) cell is one campaign trial (its UDP and
+    TCP runs together), so the whole matrix parallelizes across
+    ``workers`` processes with results independent of the worker count.
+    """
+    from ..campaign.runner import run_campaign
+    from ..campaign.sweeps import effective_workers, figure_four_specs
+
+    specs = figure_four_specs(
+        labels, ports=ports, params=params, seed=seed, timeout=timeout
+    )
+    report = run_campaign(
+        specs, name="figure-four", workers=effective_workers(workers),
+        timeout=timeout,
+    ).require_success()
     rows: List[FigureFourRow] = []
-    for label in labels:
-        kinds = ("fat-tree", "f2tree") if label in FAT_TREE_LABELS else ("f2tree",)
-        for kind in kinds:
-            udp = run_condition(kind, label, "udp", ports, params=params, seed=seed)
-            tcp = run_condition(kind, label, "tcp", ports, params=params, seed=seed)
-            assert udp.result.connectivity_loss is not None
-            assert tcp.result.collapse_duration is not None
-            rows.append(
-                FigureFourRow(
-                    label=label,
-                    kind=kind,
-                    connectivity_loss_ms=to_milliseconds(udp.result.connectivity_loss),
-                    packets_lost=udp.result.packets_lost,
-                    collapse_ms=to_milliseconds(tcp.result.collapse_duration),
-                )
+    for spec in specs:
+        payload = report.payload_for(spec)
+        rows.append(
+            FigureFourRow(
+                label=payload["label"],
+                kind=payload["kind"],
+                connectivity_loss_ms=payload["connectivity_loss_ms"],
+                packets_lost=payload["packets_lost"],
+                collapse_ms=payload["collapse_ms"],
             )
+        )
     return rows
 
 

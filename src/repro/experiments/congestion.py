@@ -60,15 +60,18 @@ def run_reroute_congestion(
     ports: int = 8,
     seed: int = 1,
     params: Optional[NetworkParams] = None,
+    obs=None,
 ) -> CongestionResult:
     """Run ``hot_flows`` CBR flows through one aggregation switch into one
     rack, fail the rack link, and measure the fast-reroute window.
 
     At the default interval each flow offers 1448 B / 50 us ~= 232 Mbps,
     so 4 hot flows fill the 1 Gbps across link and 5+ oversubscribe it.
+    ``obs`` attaches an observability facade (campaign trials snapshot
+    its metrics into their report).
     """
     topology = f2tree(ports)
-    bundle = build_bundle(topology, params=params, seed=seed)
+    bundle = build_bundle(topology, params=params, seed=seed, obs=obs)
     bundle.converge()
     network = bundle.network
 
@@ -129,21 +132,21 @@ def run_reroute_congestion(
         + network.params.spf_initial_delay
         + network.params.fib_update_delay
     )
-    network.sim.run(until=window_start)
+    network.sim.run_until(window_start)
     busy_start = across_channel.stats.busy_ns
     received_start = sum(s.received for s in sinks)
-    network.sim.run(until=window_end)
+    network.sim.run_until(window_end)
     busy_end = across_channel.stats.busy_ns
     received_end = sum(s.received for s in sinks)
 
     # post-convergence window of the same width, for comparison
     post_start = window_end + milliseconds(50)
     post_end = post_start + (window_end - window_start)
-    network.sim.run(until=post_start)
+    network.sim.run_until(post_start)
     post_received_start = sum(s.received for s in sinks)
-    network.sim.run(until=post_end)
+    network.sim.run_until(post_end)
     post_received_end = sum(s.received for s in sinks)
-    network.sim.run(until=flow_end + milliseconds(300))
+    network.sim.run_until(flow_end + milliseconds(300))
 
     window = window_end - window_start
     offered_per_window = hot_flows * (window // per_flow_interval)
@@ -168,10 +171,34 @@ def run_congestion_sweep(
     flow_counts: Tuple[int, ...] = (2, 4, 6),
     ports: int = 8,
     seed: int = 1,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[CongestionResult]:
-    """Sweep offered load across the across-link capacity boundary."""
+    """Sweep offered load across the across-link capacity boundary.
+
+    Campaign-backed: one trial per load level, fanned out over
+    ``workers`` processes (default serial / ``REPRO_SWEEP_WORKERS``).
+    """
+    from ..campaign.runner import run_campaign
+    from ..campaign.sweeps import congestion_specs, effective_workers
+
+    specs = congestion_specs(flow_counts, ports=ports, seed=seed, timeout=timeout)
+    report = run_campaign(
+        specs, name="congestion", workers=effective_workers(workers),
+        timeout=timeout,
+    ).require_success()
     return [
-        run_reroute_congestion(n, ports=ports, seed=seed) for n in flow_counts
+        CongestionResult(
+            n_hot_flows=payload["n_hot_flows"],
+            offered_mbps_per_flow=payload["offered_mbps_per_flow"],
+            reroute_delivery_ratio=payload["reroute_delivery_ratio"],
+            post_convergence_delivery_ratio=payload[
+                "post_convergence_delivery_ratio"
+            ],
+            across_utilization=payload["across_utilization"],
+            across_queue_drops=payload["across_queue_drops"],
+        )
+        for payload in (report.payload_for(spec) for spec in specs)
     ]
 
 

@@ -150,7 +150,7 @@ def run_recovery(
     flow_start = warmup
     failure_time = flow_start + fail_offset
     flow_end = flow_start + flow_duration
-    run_until = flow_end + drain
+    stop_at = flow_end + drain
 
     result = RecoveryResult(
         topology=topology.name,
@@ -178,7 +178,7 @@ def run_recovery(
         result.path_after = network.trace_route(src, dst, proto, sport, dport)
 
     sim.schedule_at(detect_probe_at, probe_during)
-    sim.schedule_at(run_until - milliseconds(1), probe_after)
+    sim.schedule_at(stop_at - milliseconds(1), probe_after)
 
     if transport == "udp":
         sink = UdpSink(sim, network.host(dst), UDP_PORT)
@@ -186,7 +186,7 @@ def run_recovery(
             sim, network.host(src), network.host(dst).ip, UDP_PORT, sport=UDP_SPORT
         )
         sender.start(at=flow_start, stop_at=flow_end)
-        sim.run(until=run_until)
+        sim.run_until(stop_at)
         result.packets_sent = sender.sent
         result.packets_received = sink.received
         arrival_times = [a.received_at for a in sink.arrivals]
@@ -205,7 +205,7 @@ def run_recovery(
             sim, network.host(src), network.host(dst).ip, TCP_PORT
         )
         sender.start(at=flow_start, stop_at=flow_end)
-        sim.run(until=run_until)
+        sim.run_until(stop_at)
         result.collapse_duration = throughput_collapse_duration(
             sink_server.deliveries, flow_start, failure_time, flow_end
         )

@@ -213,6 +213,25 @@ class Simulator:
         finally:
             self._running = False
 
+    def run_until(self, deadline: Time, max_events: Optional[int] = None) -> None:
+        """Run up to an absolute ``deadline``, validating it first.
+
+        Unlike ``run(until=...)``, a non-positive or already-passed
+        deadline raises :class:`SimulationError` instead of silently
+        rewinding the clock — a campaign trial handed a bad deadline
+        (e.g. a warmup/duration arithmetic bug producing <= 0) fails
+        fast with a clear message rather than wedging its worker.
+        """
+        if deadline <= 0:
+            raise SimulationError(
+                f"run_until needs a positive deadline, got {deadline}"
+            )
+        if deadline < self._now:
+            raise SimulationError(
+                f"run_until deadline {deadline} is in the past (now {self._now})"
+            )
+        self.run(until=deadline, max_events=max_events)
+
     def step(self) -> bool:
         """Execute exactly one pending event; returns False if queue empty."""
         while self._queue:

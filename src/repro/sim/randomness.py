@@ -14,6 +14,19 @@ import math
 import random
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """A child seed deterministically derived from ``(master_seed, name)``.
+
+    The same SHA-256 derivation :class:`RandomStreams` uses internally,
+    exposed for consumers that need a *seed* rather than a stream — e.g.
+    the campaign runner pins one derived seed per trial so that serial and
+    parallel execution (different processes, arbitrary completion order)
+    draw bit-identical randomness.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """A family of independent, deterministically-seeded RNG streams."""
 
@@ -25,12 +38,18 @@ class RandomStreams:
         """Return (creating on first use) the stream with the given name."""
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(
-                f"{self.master_seed}:{name}".encode("utf-8")
-            ).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rng = random.Random(derive_seed(self.master_seed, name))
             self._streams[name] = rng
         return rng
+
+    def derive(self, name: str) -> "RandomStreams":
+        """A child family seeded from ``(master_seed, name)``.
+
+        Children are independent of the parent's streams and of each
+        other; handing each campaign trial its own family keeps adding
+        trials from perturbing the draws of existing ones.
+        """
+        return RandomStreams(derive_seed(self.master_seed, name))
 
 
 def lognormal_from_mean_sigma(rng: random.Random, mean: float, sigma: float) -> float:

@@ -114,6 +114,70 @@ def test_classifier_agrees_with_frozen_dataplane(data):
 
 
 @settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_backup_route_used_only_when_longer_prefixes_dead(data):
+    """The fall-through invariant at the heart of §II-B: a switch forwards
+    a packet via a ``/16`` or ``/15`` static backup route **only when every
+    longer-prefix match has all of its next hops detected dead** — and
+    conversely, any live longer match wins over the backups."""
+    from repro.net.fib import LOCAL
+    from repro.net.packet import Packet
+
+    env = _environment()
+    network = env["bundle"].network
+    failed = data.draw(
+        st.sets(st.sampled_from(env["candidates"]), max_size=4),
+        label="failed links",
+    )
+    src_ip = network.host(env["src"]).ip
+    dst_ip = network.host(env["dst"]).ip
+
+    def has_live_next_hop(node, entry):
+        return any(
+            nh == LOCAL or node.neighbor_alive(nh) for nh in entry.next_hops
+        )
+
+    try:
+        for a, b in failed:
+            _force_detection(network, a, b, up=False)
+        for switch_name in env["ring"]:
+            node = network.switch(switch_name)
+            packet = Packet(
+                src=src_ip, dst=dst_ip, protocol=PROTO_UDP,
+                size_bytes=1500, sport=10000, dport=7000,
+            )
+            matches = list(node.fib.matches(packet.dst))
+            entry, next_hop, depth = node._resolve_indexed(packet)
+            if entry is None:
+                # no live route at all: every match must be fully dead
+                assert not any(has_live_next_hop(node, m) for m in matches)
+                continue
+            # the resolver returns the first live match, skipping `depth`
+            # dead longer-prefix entries on the way down
+            assert entry is matches[depth]
+            assert has_live_next_hop(node, entry)
+            assert next_hop == LOCAL or node.neighbor_alive(next_hop)
+            skipped = matches[:depth]
+            assert not any(has_live_next_hop(node, m) for m in skipped)
+            if entry.source == "static":
+                # backup ring route (/16 right, /15 left): reachable only
+                # by falling through every longer (routed) prefix
+                assert entry.prefix.length in (15, 16)
+                assert all(m.prefix.length > entry.prefix.length for m in skipped)
+                assert not any(has_live_next_hop(node, m) for m in skipped)
+            else:
+                # a live longer match exists -> the backups must NOT be used
+                assert entry.prefix.length > 16 or entry.source != "static"
+    finally:
+        for a, b in failed:
+            _force_detection(network, a, b, up=True)
+
+
+@settings(
     max_examples=60,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],

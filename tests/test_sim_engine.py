@@ -268,6 +268,65 @@ class TestHeapCompaction:
         assert sim.pending_events == 1
 
 
+class TestRunUntil:
+    """``run_until`` is the checked deadline API: a non-positive or stale
+    deadline is a caller bug and must raise instead of silently running
+    the queue dry (``run(until=0)`` degenerates to "run forever")."""
+
+    def test_zero_deadline_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        with pytest.raises(SimulationError, match="positive deadline"):
+            sim.run_until(0)
+
+    def test_negative_deadline_raises(self):
+        with pytest.raises(SimulationError, match="positive deadline"):
+            Simulator().run_until(-5)
+
+    def test_past_deadline_raises(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.now == 100
+        with pytest.raises(SimulationError, match="in the past"):
+            sim.run_until(50)
+
+    def test_bad_deadline_leaves_queue_untouched(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "x")
+        with pytest.raises(SimulationError):
+            sim.run_until(0)
+        assert seen == []
+        assert sim.pending_events == 1
+
+    def test_valid_deadline_matches_run_semantics(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "early")
+        sim.schedule(100, seen.append, "boundary")
+        sim.run_until(100)  # boundary events do not run, like run(until=)
+        assert seen == ["early"]
+        assert sim.now == 100
+
+    def test_deadline_equal_to_now_is_noop(self):
+        sim = Simulator()
+        sim.run(until=50)
+        seen = []
+        sim.schedule(10, seen.append, "later")
+        sim.run_until(50)
+        assert seen == []
+        assert sim.now == 50
+
+    def test_max_events_forwarded(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(i + 1, seen.append, i)
+        sim.run_until(100, max_events=2)
+        assert seen == [0, 1]
+
+
 class TestEngineMetrics:
     def test_event_counters_when_enabled(self):
         from repro.obs import Observability
