@@ -18,6 +18,10 @@ Kinds
 ``congestion``
     One load level of the backup-path congestion probe
     (:func:`repro.experiments.congestion.run_reroute_congestion`).
+``check``
+    One fuzzed invariant-check trial (:mod:`repro.check`): the trial's
+    seed fully determines the generated configuration, so a campaign of
+    ``check`` trials is a reproducible fuzzing run.
 """
 
 from __future__ import annotations
@@ -76,9 +80,9 @@ def _build_topology(topology: str, ports: int, across_ports: int):
     if topology == "f2tree":
         return f2tree(ports, across_ports=across_ports)
     if topology == "leaf-spine":
-        return leaf_spine(ports)
+        return leaf_spine(ports, max(2, ports // 2))
     if topology == "vl2":
-        return vl2(ports)
+        return vl2(ports, ports)
     raise CampaignError(f"unknown topology {topology!r}")
 
 
@@ -192,4 +196,41 @@ def run_congestion_trial(
         "across_utilization": result.across_utilization,
         "across_queue_drops": result.across_queue_drops,
         "saturated": result.saturated,
+    }
+
+
+@register_trial("check")
+def run_check_trial(
+    ctx: TrialContext,
+    index: int = 0,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One fuzzed invariant-check trial.
+
+    ``index`` only differentiates trial ids inside a campaign; the
+    drawn configuration is a pure function of the trial seed.  The
+    payload embeds the full config so a violating trial can be shrunk
+    and bundled without re-deriving anything.
+    """
+    from ..check.config import generate_config
+    from ..check.execute import execute_check
+
+    if params:
+        raise CampaignError(f"unknown check trial parameters: {sorted(params)}")
+    config = generate_config(ctx.seed)
+    outcome = execute_check(config)
+    return {
+        "index": index,
+        "topology": config.topology,
+        "ports": config.ports,
+        "profile": config.profile,
+        "scenario": config.scenario,
+        "n_events": len(outcome.events),
+        "probes_sent": outcome.stats["probes_sent"],
+        "probes_received": outcome.stats["probes_received"],
+        "checks": outcome.stats["checks"],
+        "n_violations": len(outcome.violations),
+        "invariants": outcome.invariants_violated,
+        "violations": [v.to_dict() for v in outcome.violations],
+        "config": config.to_dict(),
     }

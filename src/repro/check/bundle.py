@@ -1,0 +1,116 @@
+"""Replay bundles: a violation, frozen.
+
+A bundle is one JSON file carrying everything needed to reproduce a
+violation byte-identically: the campaign-style spec (kind + seed), the
+fully pinned :class:`~repro.check.config.TrialConfig`, the mutant name
+(if the violation came from the self-test layer), the canonical
+violation list, and the obs trace of the violating run.
+
+``write_bundle`` re-executes the trial with tracing enabled and *fails*
+if the re-execution does not reproduce the violations exactly — so a
+bundle on disk is already proof of determinism.  ``replay_bundle`` is
+the consumer side: load, re-execute, compare canonically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .config import TrialConfig
+from .execute import CheckOutcome, execute_check
+from .invariants import canonical_violations
+
+BUNDLE_VERSION = 1
+
+
+class BundleError(RuntimeError):
+    """A bundle that cannot be written or does not reproduce."""
+
+
+def bundle_dict(
+    config: TrialConfig,
+    outcome: CheckOutcome,
+    mutant_name: Optional[str] = None,
+) -> Dict[str, Any]:
+    return {
+        "version": BUNDLE_VERSION,
+        "spec": {"kind": "check", "seed": config.seed, "params": {}},
+        "config": config.to_dict(),
+        "mutant": mutant_name,
+        "violations": [v.to_dict() for v in outcome.violations],
+        "stats": outcome.stats,
+        "trace": outcome.trace or [],
+    }
+
+
+def write_bundle(
+    path: Path,
+    config: TrialConfig,
+    outcome: CheckOutcome,
+    mutant=None,
+) -> Path:
+    """Write a replay bundle, verifying reproducibility on the way.
+
+    The trial is re-executed with tracing enabled; if the re-execution's
+    violations differ from ``outcome``'s, the bundle is *not* written
+    and :class:`BundleError` is raised — a nondeterministic "violation"
+    is a checker bug, not a finding.
+    """
+    traced = execute_check(config, mutant=mutant, traced=True)
+    if canonical_violations(traced.violations) != canonical_violations(
+        outcome.violations
+    ):
+        raise BundleError(
+            f"violation did not reproduce under traced re-execution "
+            f"(got {traced.invariants_violated}, "
+            f"expected {outcome.invariants_violated})"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mutant_name = getattr(mutant, "name", None)
+    path.write_text(
+        json.dumps(bundle_dict(config, traced, mutant_name), indent=2,
+                   sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_bundle(path: Path) -> Dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != BUNDLE_VERSION:
+        raise BundleError(
+            f"unsupported bundle version {data.get('version')!r}"
+        )
+    return data
+
+
+def replay_bundle(path: Path) -> Tuple[bool, str]:
+    """Re-execute a bundle and compare violations byte-for-byte.
+
+    Returns ``(reproduced, human-readable summary)``.
+    """
+    from .mutants import MUTANTS
+
+    data = load_bundle(path)
+    config = TrialConfig.from_dict(data["config"])
+    mutant = MUTANTS[data["mutant"]] if data.get("mutant") else None
+    outcome = execute_check(config, mutant=mutant)
+    expected = json.dumps(
+        data["violations"], sort_keys=True, separators=(",", ":")
+    )
+    actual = canonical_violations(outcome.violations)
+    if actual == expected:
+        return True, (
+            f"reproduced: {len(outcome.violations)} violation(s) "
+            f"[{', '.join(outcome.invariants_violated)}] byte-identical "
+            f"to {Path(path).name}"
+        )
+    return False, (
+        f"MISMATCH: replay produced {outcome.invariants_violated} "
+        f"({len(outcome.violations)} violations), bundle records "
+        f"{sorted({v['invariant'] for v in data['violations']})} "
+        f"({len(data['violations'])})"
+    )

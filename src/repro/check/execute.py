@@ -1,0 +1,270 @@
+"""Run one check trial: build, converge, inject, verify.
+
+:func:`execute_check` is deliberately a pure function of its
+``(config, mutant)`` arguments: the same pair always produces the same
+:class:`CheckOutcome`, violations included, which is what makes replay
+bundles byte-identical and delta-debugging sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..dataplane.network import Network
+from ..failures.injector import FailureEvent, schedule_failures
+from ..failures.scenarios import build_scenario
+from ..net.packet import PROTO_UDP
+from ..obs import Observability
+from ..sim.engine import PRIORITY_NORMAL, Simulator
+from ..sim.units import Time, milliseconds
+from ..topology.graph import Topology
+from ..transport.udp import UdpSender, UdpSink
+from .config import TrialConfig, build_topology, quiescence_bound
+from .invariants import InvariantSuite, Violation
+
+#: probe flow five-tuple constants (fixed so traces are comparable)
+PROBE_SPORT = 10000
+PROBE_DPORT = 7000
+
+#: priority for invariant checks: after every control/data event at the
+#: same timestamp (failures fire at PRIORITY_CONTROL=0, traffic at 10)
+PRIORITY_CHECK = 90
+
+#: offset of a scenario's (simultaneous) failures after warmup
+SCENARIO_OFFSET: Time = milliseconds(100)
+
+
+class CheckError(RuntimeError):
+    """A check trial could not even be set up (distinct from a violation)."""
+
+
+class CheckedSimulator(Simulator):
+    """Simulator subclass that audits the engine while it runs.
+
+    Every scheduled callback is wrapped to verify the two properties a
+    discrete-event engine must never break: an event fires at exactly
+    the time it was scheduled for, and the clock never moves backwards.
+    Violations are collected in :attr:`timing_violations` for the
+    ``sim-sanity`` invariant rather than raised, so one engine bug does
+    not mask later ones.
+    """
+
+    def __init__(self, obs: Optional[Observability] = None) -> None:
+        super().__init__(obs=obs)
+        #: (scheduled time, fire time, description) triples
+        self.timing_violations: List[Tuple[Time, Time, str]] = []
+        self._last_fire: Time = 0
+
+    def schedule_at(self, time, callback, *args, priority=PRIORITY_NORMAL):
+        def audited(*call_args):
+            now = self.now
+            if now != time:
+                self.timing_violations.append(
+                    (time, now, f"event {_describe(callback)} fired off-schedule")
+                )
+            if now < self._last_fire:
+                self.timing_violations.append(
+                    (self._last_fire, now,
+                     f"clock regressed before {_describe(callback)}")
+                )
+            self._last_fire = max(self._last_fire, now)
+            return callback(*call_args)
+
+        return super().schedule_at(time, audited, *args, priority=priority)
+
+
+def _describe(callback) -> str:
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+@dataclass
+class CheckEnv:
+    """Everything the invariant suite needs to interrogate one trial."""
+
+    config: TrialConfig
+    topo: Topology
+    network: Network
+    protocols: Dict[str, Any]
+    sim: Simulator
+    src: str
+    dst: str
+    probe_sport: int = PROBE_SPORT
+    probe_dport: int = PROBE_DPORT
+
+
+@dataclass
+class CheckOutcome:
+    """The deterministic result of one check trial."""
+
+    config: TrialConfig
+    violations: List[Violation]
+    #: the resolved event sequence (scenario profiles get concrete events)
+    events: Tuple[FailureEvent, ...]
+    stats: Dict[str, Any]
+    #: obs trace event dicts when executed with ``traced=True``
+    trace: Optional[List[Dict[str, Any]]] = None
+
+    @property
+    def invariants_violated(self) -> List[str]:
+        return sorted({v.invariant for v in self.violations})
+
+
+def _resolve_scenario(config: TrialConfig, bundle, src: str, dst: str):
+    """Build the Table IV scenario on this bundle's converged best path."""
+    path, completed = bundle.network.trace_route(
+        src, dst, PROTO_UDP, PROBE_SPORT, PROBE_DPORT
+    )
+    if not completed:
+        raise CheckError(
+            f"converged network cannot route {src}->{dst}; "
+            f"probe died after {path}"
+        )
+    scenario = build_scenario(config.scenario, bundle.topology, path)
+    at = config.warmup + SCENARIO_OFFSET
+    events = tuple(FailureEvent(at, a, b) for a, b in scenario.failed)
+    return scenario, path, events
+
+
+def execute_check(
+    config: TrialConfig,
+    mutant=None,
+    traced: bool = False,
+) -> CheckOutcome:
+    """Run one trial and evaluate the full invariant catalog.
+
+    ``mutant`` (a :class:`~repro.check.mutants.FaultMutant`) seeds a
+    deliberate fault into the system under test before events fire;
+    ``traced`` attaches an unbounded obs trace for replay bundles.
+    """
+    from ..experiments.common import build_bundle, leftmost_host, rightmost_host
+
+    topo = build_topology(config)
+    params = config.params()
+    obs = Observability(enabled=True, capacity=0) if traced else None
+    sim = CheckedSimulator(obs=obs)
+    bundle = build_bundle(
+        topo,
+        params=params,
+        seed=config.seed,
+        backup_tie_break=(
+            mutant.backup_tie_break if mutant is not None else "prefix-length"
+        ),
+        sim=sim,
+    )
+    bundle.converge(until=config.warmup)
+    if mutant is not None:
+        mutant.apply(bundle)
+
+    src, dst = leftmost_host(topo), rightmost_host(topo)
+    env = CheckEnv(
+        config=config, topo=topo, network=bundle.network,
+        protocols=bundle.protocols, sim=sim, src=src, dst=dst,
+    )
+    suite = InvariantSuite(env)
+
+    scenario = None
+    path_before: Optional[List[str]] = None
+    if config.profile == "scenario":
+        scenario, path_before, events = _resolve_scenario(
+            config, bundle, src, dst
+        )
+    else:
+        events = tuple(
+            FailureEvent(at, a, b, restore_at)
+            for at, a, b, restore_at in config.events
+        )
+    schedule_failures(bundle.network, events)
+
+    bound = quiescence_bound(params)
+    detect = max(params.detection_delay, params.up_detection_delay)
+    times = sorted(
+        {e.at for e in events}
+        | {e.restore_at for e in events if e.restore_at is not None}
+    )
+    last = times[-1] if times else config.warmup
+    horizon = last + bound + milliseconds(20)
+
+    # continuous probe traffic feeds the conservation invariant (and the
+    # obs trace); it stops early enough that everything in flight drains
+    sender = UdpSender(
+        sim, bundle.network.host(src), bundle.network.host(dst).ip,
+        PROBE_DPORT, sport=PROBE_SPORT, payload_bytes=200,
+        interval=milliseconds(1),
+    )
+    sink = UdpSink(sim, bundle.network.host(dst), PROBE_DPORT)
+    sender.start(at=config.warmup, stop_at=horizon - milliseconds(10))
+
+    # mid-convergence loop checks: at each event instant (right after the
+    # topology change, before any detection) and again just past the
+    # detection window (backup routes engaged, SPF not yet installed)
+    for t in times:
+        sim.schedule_at(
+            t, suite.check_loop_freedom_during, priority=PRIORITY_CHECK
+        )
+        sim.schedule_at(
+            t + detect + milliseconds(1),
+            suite.check_loop_freedom_during,
+            priority=PRIORITY_CHECK,
+        )
+    # black-hole bound: only for events whose quiescence window is quiet
+    for t in times:
+        if all(not (t < other <= t + bound) for other in times):
+            sim.schedule_at(
+                t + bound, suite.check_blackhole, t, priority=PRIORITY_CHECK
+            )
+    # fast-reroute window: scenario profiles with backup routes in place
+    if scenario is not None and bundle.backup_config is not None:
+        sim.schedule_at(
+            times[0] + detect + milliseconds(2),
+            suite.check_frr_window,
+            scenario,
+            path_before,
+            priority=PRIORITY_CHECK,
+        )
+
+    sim.run(until=horizon + milliseconds(1))
+    suite.run_quiescent_checks()
+
+    stats: Dict[str, Any] = {
+        "probes_sent": sender.sent,
+        "probes_received": sink.received,
+        "events_processed": sim.events_processed,
+        "n_events": len(events),
+        "checks": dict(sorted(suite.checks_run.items())),
+    }
+    trace = None
+    if traced:
+        import json
+
+        trace = [json.loads(event.to_json()) for event in sim.obs.trace]
+    return CheckOutcome(
+        config=config,
+        violations=list(suite.violations),
+        events=events,
+        stats=stats,
+        trace=trace,
+    )
+
+
+def concretize(config: TrialConfig) -> TrialConfig:
+    """Rewrite a scenario-profile config as an explicit events profile.
+
+    Runs the warmup once to discover the converged best path the
+    scenario builder anchors on, then pins the resulting link failures
+    as absolute-time events.  Used by the shrinker (events are what it
+    minimizes) and by mutants that need a Table IV failure pattern
+    without the scenario-only FRR-window check.
+    """
+    from ..experiments.common import build_bundle, leftmost_host, rightmost_host
+
+    if config.profile != "scenario":
+        return config
+    topo = build_topology(config)
+    bundle = build_bundle(topo, params=config.params(), seed=config.seed)
+    bundle.converge(until=config.warmup)
+    src, dst = leftmost_host(topo), rightmost_host(topo)
+    _, _, events = _resolve_scenario(config, bundle, src, dst)
+    return config.with_events(
+        tuple((e.at, e.a, e.b, e.restore_at) for e in events)
+    )

@@ -1,0 +1,112 @@
+"""Delta-debugging minimization of a violating trial.
+
+Given a config whose execution violates some invariant set, the
+shrinker looks for the smallest event sequence that still reproduces at
+least one of those invariants: classic ddmin over the events (drop
+complement chunks, refining the partition), then a pass that strips
+restore times.  Every candidate is judged by actually re-executing it —
+:func:`~repro.check.execute.execute_check` is deterministic, so
+"reproduces" is well-defined.
+
+Scenario-profile configs are first rewritten as explicit events via
+:func:`~repro.check.execute.concretize`; if the violation does not
+survive concretization (the ``frr-window`` invariant only exists for
+scenario profiles), the original config is returned unshrunk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .config import EventTuple, TrialConfig
+from .execute import CheckOutcome, concretize, execute_check
+
+
+def shrink_config(
+    config: TrialConfig,
+    mutant=None,
+    max_runs: int = 48,
+) -> Tuple[TrialConfig, CheckOutcome]:
+    """Minimize ``config``'s event sequence while preserving the violation.
+
+    Returns the smallest reproducing config found within the ``max_runs``
+    re-execution budget together with its outcome.  If the initial run
+    has no violations, the config is returned untouched.
+    """
+    initial = execute_check(config, mutant=mutant)
+    target = frozenset(v.invariant for v in initial.violations)
+    if not target:
+        return config, initial
+
+    budget = [max_runs]
+
+    def attempt(candidate: TrialConfig) -> Optional[CheckOutcome]:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        outcome = execute_check(candidate, mutant=mutant)
+        if target & {v.invariant for v in outcome.violations}:
+            return outcome
+        return None
+
+    best_config, best_outcome = config, initial
+    if config.profile == "scenario":
+        concrete = concretize(config)
+        outcome = attempt(concrete)
+        if outcome is None:
+            return config, initial
+        best_config, best_outcome = concrete, outcome
+
+    events: List[EventTuple] = list(best_config.events)
+
+    # ddmin: try removing complement chunks, refining the partition
+    chunks = 2
+    while len(events) >= 2:
+        size = -(-len(events) // chunks)  # ceil division
+        subsets = [events[i:i + size] for i in range(0, len(events), size)]
+        reduced = False
+        for skip in range(len(subsets)):
+            candidate_events = [
+                event
+                for index, subset in enumerate(subsets)
+                for event in subset
+                if index != skip
+            ]
+            outcome = attempt(
+                best_config.with_events(tuple(candidate_events))
+            )
+            if outcome is not None:
+                events = candidate_events
+                best_config = best_config.with_events(tuple(events))
+                best_outcome = outcome
+                chunks = max(2, chunks - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunks >= len(events):
+                break
+            chunks = min(len(events), 2 * chunks)
+
+    # can the violation survive with no events at all?  (quiescent-only
+    # invariants like fib-consistency can)
+    if events:
+        outcome = attempt(best_config.with_events(()))
+        if outcome is not None:
+            events = []
+            best_config = best_config.with_events(())
+            best_outcome = outcome
+
+    # strip restore times the violation does not depend on
+    for index, event in enumerate(events):
+        at, a, b, restore_at = event
+        if restore_at is None:
+            continue
+        candidate_events = list(events)
+        candidate_events[index] = (at, a, b, None)
+        outcome = attempt(best_config.with_events(tuple(candidate_events)))
+        if outcome is not None:
+            events = candidate_events
+            best_config = best_config.with_events(tuple(events))
+            best_outcome = outcome
+
+    return best_config, best_outcome

@@ -308,6 +308,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="also write the JSON report to this file",
     )
+    check = sub.add_parser(
+        "check",
+        help="fuzz the network with randomized failure trials and check "
+        "the invariant catalog (see DESIGN.md)",
+    )
+    check.add_argument(
+        "--trials", type=int, default=50,
+        help="number of fuzz trials to run (default 50)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign master seed; trial seeds derive from it (default 1)",
+    )
+    check.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results identical for any value)",
+    )
+    check.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial wall-clock timeout in seconds",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic campaign report as JSON",
+    )
+    check.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("check-failures"),
+        help="directory for replay bundles of violating trials "
+        "(default: check-failures/)",
+    )
+    check.add_argument(
+        "--replay", type=pathlib.Path, default=None,
+        help="replay a saved bundle and verify it reproduces byte-identically",
+    )
+    check.add_argument(
+        "--selftest", action="store_true",
+        help="run the seeded fault-mutant matrix instead of fuzz trials",
+    )
     return parser
 
 
@@ -387,6 +425,63 @@ def _cmd_sweep(args) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_check(args) -> int:
+    from .campaign.runner import run_campaign
+    from .campaign.spec import TrialSpec
+    from .check.bundle import BundleError, replay_bundle, write_bundle
+    from .check.config import TrialConfig
+    from .check.mutants import render_selftest, run_selftest
+    from .check.shrink import shrink_config
+
+    if args.replay is not None:
+        try:
+            reproduced, detail = replay_bundle(args.replay)
+        except (BundleError, OSError, ValueError, KeyError) as exc:
+            print(f"cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        print(detail)
+        return 0 if reproduced else 1
+    if args.selftest:
+        results = run_selftest()
+        print(render_selftest(results))
+        return 0 if all(r.ok for r in results) else 1
+
+    specs = [
+        TrialSpec.make("check", seed=None, timeout=args.timeout, index=i)
+        for i in range(max(0, args.trials))
+    ]
+    if not specs:
+        print("no trials requested", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        specs,
+        name="check",
+        workers=args.workers,
+        timeout=args.timeout,
+        campaign_seed=args.seed,
+    )
+    print(report.to_json() if args.json else report.render())
+    violating = [
+        r for r in report.succeeded
+        if r.payload is not None and r.payload.get("n_violations")
+    ]
+    for record in violating:
+        config = TrialConfig.from_dict(record.payload["config"])
+        shrunk, outcome = shrink_config(config)
+        bundle_path = args.out / f"{record.spec.seed}.json"
+        try:
+            write_bundle(bundle_path, shrunk, outcome)
+            where = str(bundle_path)
+        except BundleError as exc:
+            where = f"UNWRITTEN ({exc})"
+        print(
+            f"violation in {record.spec.trial_id}: "
+            f"{record.payload['invariants']} -> replay bundle {where}",
+            file=sys.stderr,
+        )
+    return 1 if (report.failed or violating) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -399,6 +494,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "check":
+        return _cmd_check(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

@@ -74,6 +74,7 @@ def build_bundle(
     routing: str = "linkstate",
     routing_options: Optional[object] = None,
     obs: Optional[Observability] = None,
+    sim: Optional[Simulator] = None,
 ) -> Bundle:
     """Instantiate a network with a control plane (and backup routes if
     F²-style).
@@ -86,8 +87,12 @@ def build_bundle(
     ``obs`` attaches an :class:`~repro.obs.Observability` facade to the
     simulator (pass ``Observability(enabled=True)`` to record a trace);
     omitted, the bundle gets the disabled no-op default.
+    ``sim`` substitutes a pre-built simulator (e.g. the instrumented
+    :class:`~repro.check.execute.CheckedSimulator`); ``obs`` is ignored
+    in that case — the provided simulator keeps its own facade.
     """
-    sim = Simulator(obs=obs)
+    if sim is None:
+        sim = Simulator(obs=obs)
     network = Network(topology, sim, params)
     controller: Optional[CentralizedController] = None
     if routing == "linkstate":

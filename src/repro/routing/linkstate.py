@@ -258,6 +258,17 @@ class LinkStateProtocol:
         """Routes currently installed in the FIB by this protocol."""
         return dict(self._installed)
 
+    @property
+    def protocol_neighbors(self) -> frozenset:
+        """Switch peers this instance speaks the protocol with (hosts
+        excluded); alive or not — liveness is the caller's concern."""
+        return frozenset(self._protocol_neighbors)
+
+    @property
+    def advertised(self) -> Tuple[Prefix, ...]:
+        """The prefixes this router originates into the LSDB."""
+        return self._advertised
+
 
 def deploy_linkstate(network, advertise_loopbacks: bool = True) -> Dict[str, LinkStateProtocol]:
     """Install a protocol instance on every switch of a network.

@@ -1,0 +1,65 @@
+"""The check trial kind on the campaign runner, and the `repro check` CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import TrialSpec
+from repro.check import MUTANTS, shrink_config
+from repro.check.bundle import write_bundle
+from repro.cli import main
+
+
+def _specs(n):
+    return [TrialSpec.make("check", seed=None, index=i) for i in range(n)]
+
+
+class TestCheckTrialKind:
+    def test_payload_carries_the_full_config(self):
+        report = run_campaign(_specs(1), name="check", campaign_seed=3)
+        report.require_success()
+        payload = report.records[0].payload
+        assert payload["n_violations"] == 0
+        assert payload["invariants"] == []
+        assert set(payload["config"]) == {
+            "topology", "ports", "across_ports", "profile", "scenario",
+            "seed", "overrides", "events", "warmup",
+        }
+        assert payload["config"]["seed"] == report.records[0].spec.seed
+
+    def test_parallel_run_is_byte_identical_to_serial(self):
+        serial = run_campaign(_specs(4), name="check", campaign_seed=5)
+        parallel = run_campaign(
+            _specs(4), name="check", workers=2, campaign_seed=5
+        )
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestCheckCli:
+    def test_clean_fuzz_run_exits_zero(self, capsys):
+        code = main(["check", "--trials", "2", "--seed", "9", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        report = json.loads(out)
+        assert report["summary"]["total"] == 2
+        assert report["summary"]["ok"] == 2
+
+    def test_replay_subcommand_roundtrips_a_bundle(self, tmp_path, capsys):
+        mutant = MUTANTS["backup-tiebreak-none"]
+        config = mutant.config_factory()
+        shrunk, outcome = shrink_config(config, mutant=mutant)
+        path = write_bundle(
+            tmp_path / "bundle.json", shrunk, outcome, mutant=mutant
+        )
+        code = main(["check", "--replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced" in out
+
+    def test_replay_of_garbage_path_exits_two(self, tmp_path, capsys):
+        code = main(["check", "--replay", str(tmp_path / "missing.json")])
+        assert code == 2
+
+    def test_zero_trials_is_an_error(self, capsys):
+        assert main(["check", "--trials", "0"]) == 2

@@ -1,0 +1,219 @@
+"""The invariant checker itself: configs, generator, executor, engine audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    CheckedSimulator,
+    TrialConfig,
+    canonical_violations,
+    execute_check,
+    find_cycles,
+    generate_config,
+    quiescence_bound,
+)
+from repro.check.config import ConfigError, fast_overrides, scenario_labels
+from repro.check.execute import concretize
+from repro.dataplane.params import NetworkParams
+from repro.net.fib import FibEntry
+from repro.net.ip import Prefix
+from repro.sim.units import milliseconds, seconds
+
+
+class TestTrialConfig:
+    def test_roundtrips_through_json_dict(self):
+        config = generate_config(7)
+        assert TrialConfig.from_dict(config.to_dict()) == config
+        assert (
+            TrialConfig.from_dict(config.to_dict()).canonical_json()
+            == config.canonical_json()
+        )
+
+    def test_rejects_inconsistent_profiles(self):
+        with pytest.raises(ConfigError):
+            TrialConfig("f2tree", 6, profile="scenario")  # no label
+        with pytest.raises(ConfigError):
+            TrialConfig("f2tree", 6, scenario="C1")  # events profile + label
+        with pytest.raises(ConfigError):
+            TrialConfig("f2tree", 6, profile="chaos")
+
+    def test_rejects_bad_event_times(self):
+        with pytest.raises(ConfigError):
+            TrialConfig(
+                "f2tree", 6, events=((1, "a", "b", None),),
+                warmup=seconds(1),
+            )
+        with pytest.raises(ConfigError):
+            TrialConfig(
+                "f2tree", 6,
+                events=((seconds(2), "a", "b", seconds(2)),),
+                warmup=seconds(1),
+            )
+
+    def test_params_applies_overrides(self):
+        config = TrialConfig(
+            "f2tree", 6, overrides=(("detection_delay", milliseconds(7)),)
+        )
+        assert config.params().detection_delay == milliseconds(7)
+        assert config.params().spf_hold == NetworkParams().spf_hold
+
+
+class TestGenerator:
+    def test_same_seed_same_config(self):
+        for seed in range(1, 12):
+            assert generate_config(seed) == generate_config(seed)
+
+    def test_different_seeds_differ_somewhere(self):
+        configs = {generate_config(seed).canonical_json() for seed in range(1, 25)}
+        assert len(configs) > 10
+
+    def test_event_times_land_on_distinct_grid_slots(self):
+        for seed in range(1, 40):
+            config = generate_config(seed)
+            times = [at for at, _, _, _ in config.events]
+            times += [r for _, _, _, r in config.events if r is not None]
+            assert len(times) == len(set(times))
+            for t in times:
+                assert (t - config.warmup) % milliseconds(100) == 0
+
+    def test_scenario_labels_respect_ring_size(self):
+        assert "C4" not in scenario_labels("fat-tree", 4)
+        assert "C4" in scenario_labels("fat-tree", 6)
+        assert "C6" not in scenario_labels("fat-tree", 6)
+        assert "C7" in scenario_labels("f2tree", 6)
+        assert scenario_labels("leaf-spine", 4) == ()
+
+
+class TestFindCycles:
+    def _entry(self):
+        return FibEntry(Prefix("10.0.0.0/24"), ("x",), source="test")
+
+    def test_detects_two_node_cycle(self):
+        e = self._entry()
+        edges = {"a": [("b", e)], "b": [("a", e)]}
+        cycles = find_cycles(edges)
+        assert len(cycles) == 1
+        assert {node for node, _, _ in cycles[0]} == {"a", "b"}
+
+    def test_dag_is_cycle_free(self):
+        e = self._entry()
+        edges = {"a": [("b", e), ("c", e)], "b": [("c", e)], "c": []}
+        assert find_cycles(edges) == []
+
+    def test_self_loop(self):
+        e = self._entry()
+        assert len(find_cycles({"a": [("a", e)]})) == 1
+
+    def test_cycle_behind_a_tail(self):
+        e = self._entry()
+        edges = {"t": [("a", e)], "a": [("b", e)], "b": [("a", e)]}
+        cycles = find_cycles(edges)
+        assert len(cycles) == 1
+        assert {node for node, _, _ in cycles[0]} == {"a", "b"}
+
+
+class TestQuiescenceBound:
+    def test_covers_every_phase(self):
+        params = NetworkParams()
+        bound = quiescence_bound(params)
+        assert bound > (
+            params.detection_delay
+            + params.spf_initial_delay
+            + params.spf_hold_max
+            + params.fib_update_delay
+        )
+
+    def test_uses_slower_of_the_detection_delays(self):
+        fast = NetworkParams().with_overrides(
+            detection_delay=milliseconds(1), up_detection_delay=milliseconds(9)
+        )
+        slow = NetworkParams().with_overrides(
+            detection_delay=milliseconds(9), up_detection_delay=milliseconds(9)
+        )
+        assert quiescence_bound(fast) == quiescence_bound(slow)
+
+
+class TestCheckedSimulator:
+    def test_runs_events_in_order_with_clean_audit(self):
+        sim = CheckedSimulator()
+        fired = []
+        sim.schedule_at(100, lambda: fired.append("b"))
+        sim.schedule_at(50, lambda: fired.append("a"))
+        sim.run(until=200)
+        assert fired == ["a", "b"]
+        assert sim.timing_violations == []
+
+    def test_wrapped_callbacks_keep_their_arguments(self):
+        sim = CheckedSimulator()
+        seen = []
+        sim.schedule_at(10, lambda x, y: seen.append((x, y)), 1, 2)
+        sim.run(until=20)
+        assert seen == [(1, 2)]
+
+
+class TestExecuteCheck:
+    def test_healthy_scenario_run_is_violation_free(self):
+        config = TrialConfig(
+            "f2tree", 6, profile="scenario", scenario="C1",
+            overrides=fast_overrides(), warmup=milliseconds(500),
+        )
+        outcome = execute_check(config)
+        assert outcome.violations == []
+        # every invariant family actually ran
+        assert set(outcome.stats["checks"]) == {
+            "loop-freedom", "frr-window", "blackhole-bound",
+            "fib-consistency", "convergence-agreement", "sim-sanity",
+        }
+        assert outcome.stats["probes_received"] > 0
+
+    def test_c7_pingpong_is_accepted_not_flagged(self):
+        """Condition 4 (the C7 pattern) drops traffic by design; the
+        checker must treat it as expected behaviour, not a violation."""
+        config = TrialConfig(
+            "f2tree", 6, profile="scenario", scenario="C7",
+            overrides=fast_overrides(), warmup=milliseconds(500),
+        )
+        outcome = execute_check(config)
+        assert outcome.violations == []
+
+    @pytest.mark.parametrize("seed", [11, 23, 35, 47])
+    def test_generated_trials_are_clean_and_deterministic(self, seed):
+        config = generate_config(seed)
+        first = execute_check(config)
+        second = execute_check(config)
+        assert first.violations == []
+        assert canonical_violations(first.violations) == canonical_violations(
+            second.violations
+        )
+        assert first.stats == second.stats
+
+    def test_concretize_pins_the_scenario_as_events(self):
+        config = TrialConfig(
+            "f2tree", 6, profile="scenario", scenario="C4",
+            overrides=fast_overrides(), warmup=milliseconds(500),
+        )
+        concrete = concretize(config)
+        assert concrete.profile == "events"
+        assert concrete.scenario is None
+        assert len(concrete.events) == 2  # C4 fails two downward links
+        assert concretize(concrete) is concrete
+        # the concrete run reproduces the scenario's (clean) outcome
+        assert execute_check(concrete).violations == []
+
+    def test_events_profile_with_restore_stays_clean(self):
+        from dataclasses import replace
+
+        from repro.check.config import build_topology
+        from repro.failures.injector import fabric_links
+
+        config = TrialConfig(
+            "fat-tree", 4, overrides=fast_overrides(), warmup=milliseconds(500),
+        )
+        a, b = fabric_links(build_topology(config))[0]
+        config = replace(
+            config, events=((milliseconds(600), a, b, milliseconds(900)),)
+        )
+        outcome = execute_check(config)
+        assert outcome.violations == []
+        assert outcome.stats["n_events"] == 1

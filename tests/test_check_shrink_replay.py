@@ -1,0 +1,95 @@
+"""Shrinking and replay bundles: minimal reproducers, byte-identical."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import MUTANTS, execute_check, shrink_config
+from repro.check.bundle import (
+    BundleError,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+
+
+def _violating_setup():
+    """The loop-freedom mutant padded with one irrelevant failure."""
+    mutant = MUTANTS["backup-tiebreak-none"]
+    config = mutant.config_factory()
+    at = config.events[0][0]
+    padded = config.with_events(
+        tuple(sorted(config.events + ((at, "agg-1-0", "tor-1-0", None),)))
+    )
+    return mutant, config, padded
+
+
+class TestShrink:
+    def test_clean_config_returned_untouched(self):
+        config = MUTANTS["backup-tiebreak-none"].config_factory()
+        shrunk, outcome = shrink_config(config)  # no mutant: clean
+        assert shrunk == config
+        assert outcome.violations == []
+
+    def test_drops_irrelevant_event_keeps_essential_pair(self):
+        mutant, config, padded = _violating_setup()
+        shrunk, outcome = shrink_config(padded, mutant=mutant)
+        # the irrelevant pod-1 failure is gone; the C4 pair (both downward
+        # links of the destination ToR) is essential and must survive
+        assert set(shrunk.events) == set(config.events)
+        assert "loop-freedom" in outcome.invariants_violated
+
+    def test_scenario_violation_that_cannot_concretize_stays_whole(self):
+        """frr-window exists only in scenario profiles; shrinking must
+        notice the violation dies under concretization and return the
+        original config rather than a non-reproducing 'minimization'."""
+        mutant = MUTANTS["backup-routes-disabled"]
+        config = mutant.config_factory()
+        shrunk, outcome = shrink_config(config, mutant=mutant)
+        assert shrunk == config
+        assert shrunk.profile == "scenario"
+        assert "frr-window" in outcome.invariants_violated
+
+
+class TestBundles:
+    def test_write_then_replay_reproduces_byte_identically(self, tmp_path):
+        mutant, _, padded = _violating_setup()
+        shrunk, outcome = shrink_config(padded, mutant=mutant)
+        path = write_bundle(tmp_path / "loop.json", shrunk, outcome, mutant=mutant)
+        reproduced, detail = replay_bundle(path)
+        assert reproduced, detail
+        data = load_bundle(path)
+        assert data["mutant"] == "backup-tiebreak-none"
+        assert data["spec"]["kind"] == "check"
+        assert data["trace"], "bundle must embed the obs trace"
+        assert {v["invariant"] for v in data["violations"]} == {"loop-freedom"}
+
+    def test_tampered_bundle_fails_replay(self, tmp_path):
+        mutant, _, padded = _violating_setup()
+        shrunk, outcome = shrink_config(padded, mutant=mutant)
+        path = write_bundle(tmp_path / "loop.json", shrunk, outcome, mutant=mutant)
+        data = json.loads(path.read_text())
+        data["violations"][0]["subject"] = "host-9-9-9"
+        path.write_text(json.dumps(data))
+        reproduced, detail = replay_bundle(path)
+        assert not reproduced
+        assert "MISMATCH" in detail
+
+    def test_write_refuses_outcome_that_does_not_reproduce(self, tmp_path):
+        """Handing write_bundle an outcome from a *different* config must
+        fail its built-in reproduction proof."""
+        mutant, config, padded = _violating_setup()
+        clean_outcome = execute_check(config)  # no mutant: no violations
+        _, violating_outcome = shrink_config(padded, mutant=mutant)
+        with pytest.raises(BundleError):
+            write_bundle(
+                tmp_path / "bad.json", config, violating_outcome, mutant=None
+            )
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(BundleError):
+            load_bundle(path)

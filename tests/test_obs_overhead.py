@@ -73,3 +73,66 @@ def test_disabled_simulator_trace_stays_empty():
     bundle.converge(seconds(1))
     assert bundle.obs.enabled is False
     assert len(bundle.obs.trace) == 0
+
+
+class TestTraceRingEdgeCases:
+    """The capacity contract at its boundaries (see repro.obs.trace)."""
+
+    def test_zero_capacity_means_unbounded_not_empty(self):
+        """capacity=0 is the 'keep everything' setting (used by replay
+        bundles): nothing may ever be evicted."""
+        recorder = TraceRecorder(capacity=0)
+        for i in range(5000):
+            recorder.emit(i, "test.event", "node")
+        assert len(recorder) == 5000
+        assert recorder.evicted == 0
+        assert recorder.events("test.event")[0].time == 0
+
+    def test_capacity_one_keeps_only_the_newest(self):
+        recorder = TraceRecorder(capacity=1)
+        for i in range(10):
+            recorder.emit(i, "test.event")
+        assert len(recorder) == 1
+        assert recorder.evicted == 9
+        assert recorder.events()[0].time == 9
+
+    def test_eviction_counter_tracks_overflow_exactly(self):
+        recorder = TraceRecorder(capacity=16)
+        for i in range(40):
+            recorder.emit(i, "test.event")
+        assert len(recorder) == 16
+        assert recorder.evicted == 40 - 16
+        assert [e.time for e in recorder.events()] == list(range(24, 40))
+
+    def test_disabled_recorder_neither_stores_nor_evicts(self):
+        recorder = TraceRecorder(capacity=1, enabled=False)
+        for i in range(10):
+            recorder.emit(i, "test.event")
+        assert len(recorder) == 0
+        assert recorder.evicted == 0
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=-1)
+
+    def test_clear_resets_eviction_accounting(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.emit(i, "test.event")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.evicted == 0
+
+    def test_unbounded_roundtrips_through_jsonl(self, tmp_path):
+        recorder = TraceRecorder(capacity=0)
+        for i in range(100):
+            recorder.emit(i, "test.event", "n", value=i)
+        path = tmp_path / "trace.jsonl"
+        assert recorder.write_jsonl(path) == 100
+        from repro.obs.trace import read_jsonl
+
+        events = read_jsonl(path)
+        assert len(events) == 100
+        assert events[-1].data["value"] == 99

@@ -1,9 +1,11 @@
-"""Property-based TCP tests: reassembly and cumulative-ACK invariants."""
+"""Property-based TCP tests: reassembly, cumulative-ACK, RTO backoff and
+retransmission-after-reroute invariants."""
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.sim.units import milliseconds, seconds
 from repro.transport.tcp import FLAG_ACK, TcpSegment
 
 from tests.test_tcp import established_client
@@ -97,3 +99,95 @@ def test_app_sends_accumulate(lengths):
         assert sent_bytes == total
     else:
         assert conn.cwnd <= sent_bytes < conn.cwnd + conn.params.mss
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rto_initial_ms=st.integers(min_value=50, max_value=400),
+    rto_max_s=st.integers(min_value=1, max_value=4),
+    horizon_s=st.integers(min_value=2, max_value=20),
+)
+def test_rto_backoff_doubles_exactly_and_caps(
+    rto_initial_ms, rto_max_s, horizon_s
+):
+    """With every segment black-holed, the k-th timeout leaves
+    ``rto == min(initial * 2^k, rto_max)`` — never more, never less, and
+    never past the cap (the paper's 200 ms -> 400 ms explanation of the
+    fat tree's 700 ms collapse depends on exactly this doubling)."""
+    from repro.transport.tcp import TcpState
+
+    sim, host, conn = established_client(
+        rto_initial=milliseconds(rto_initial_ms),
+        rto_min=milliseconds(rto_initial_ms),
+        rto_max=seconds(rto_max_s),
+    )
+    conn.send(1448)
+    sim.run(until=seconds(horizon_s))
+    assert conn.rto_fires >= 1  # nothing was ever ACKed
+    # the terminal fire (retry budget exhausted) fails the connection
+    # without doubling or retransmitting; every earlier fire does both
+    backoffs = conn.rto_fires
+    if conn.state is TcpState.FAILED:
+        assert conn.rto_fires == conn.params.max_retries + 1
+        backoffs -= 1
+    expected = min(
+        milliseconds(rto_initial_ms) * (2 ** backoffs),
+        seconds(rto_max_s),
+    )
+    assert conn.rto == expected
+    assert conn.rto <= seconds(rto_max_s)
+    assert conn.segments_retransmitted >= backoffs
+
+
+@settings(max_examples=40, deadline=None)
+@given(horizon_s=st.integers(min_value=1, max_value=10))
+def test_no_rto_without_outstanding_data(horizon_s):
+    """An idle established connection must never back off."""
+    sim, host, conn = established_client()
+    sim.run(until=seconds(horizon_s))
+    assert conn.rto_fires == 0
+    assert conn.rto == conn.params.rto_initial
+
+
+def test_retransmission_completes_transfer_after_reroute():
+    """Fail the primary downward link of the destination pod mid-transfer
+    on an F2Tree: fast reroute restores the path after the detection
+    window and TCP's retransmissions deliver every byte — end-to-end
+    the loss window is detection-bounded, not RTO-spiral-bounded."""
+    from repro.core.f2tree import f2tree
+    from repro.experiments.common import build_bundle, leftmost_host, rightmost_host
+    from repro.net.packet import PROTO_TCP
+    from repro.transport.tcp import TcpListener, TcpStack
+
+    topo = f2tree(6)
+    bundle = build_bundle(topo)
+    bundle.converge()
+    src, dst = leftmost_host(topo), rightmost_host(topo)
+    network = bundle.network
+
+    received = []
+    TcpListener(
+        bundle.sim, network.host(dst), 80,
+        lambda c: setattr(c, "on_data", lambda cc, n: received.append(n)),
+    )
+    stack = TcpStack(bundle.sim, network.host(src))
+    conn = stack.open(network.host(dst).ip, 80)
+    # the flow's path depends on its (ephemeral) port hash: trace with
+    # the connection's real five-tuple to find the link it will cross
+    path, ok = network.trace_route(src, dst, PROTO_TCP, conn.local_port, 80)
+    assert ok
+    tor_d, agg_d = path[-2], path[-3]
+    total = 400 * 1448
+    conn.send(total)
+    # cut the flow's downward link mid-slow-start (condition 1)
+    network.schedule_link_failure(agg_d, tor_d, bundle.sim.now + milliseconds(1))
+    bundle.sim.run(until=bundle.sim.now + seconds(5))
+
+    assert sum(received) == total
+    assert conn.segments_retransmitted > 0
+    # and the flow really was rerouted: the same five-tuple now reaches
+    # the destination without crossing the failed link
+    rerouted, ok = network.trace_route(src, dst, PROTO_TCP, conn.local_port, 80)
+    assert ok
+    assert rerouted != path
+    assert (agg_d, tor_d) not in zip(rerouted, rerouted[1:])
