@@ -16,6 +16,8 @@ spf-timer      §III ablation — fat-tree outage tracks the SPF timer,
 detection      §III ablation — F²Tree recovery == BFD detection delay
 fig4           Fig 4 / Table IV — conditions C1–C7 on both topologies
 congestion     backup-path congestion probe (critical evaluation)
+verify         §II-C/§III structural claims, proven statically over a
+               grid of builders (no simulation; see DESIGN.md §8)
 =============  ===========================================================
 """
 
@@ -127,6 +129,31 @@ def congestion_specs(
     ]
 
 
+def verify_specs(
+    ports: int = 8,
+    seed: int = 1,
+    timeout: Optional[float] = None,
+) -> List[TrialSpec]:
+    """Static verification grid: the rewired builds the paper claims
+    protection for, plus the plain baselines that must stay clean."""
+    families: Tuple[Tuple[str, int], ...] = (
+        ("fattree", ports),
+        ("fattree", 6),
+        ("fat-tree", ports),
+        ("leaf-spine", ports),
+        ("leaf-spine-plain", ports),
+        ("vl2-plain", 4),
+        ("aspen", 4),
+    )
+    return [
+        TrialSpec.make(
+            "verify", seed=seed, timeout=timeout,
+            topology=family, ports=n, max_failures=2,
+        )
+        for family, n in families
+    ]
+
+
 @dataclass(frozen=True)
 class SweepDef:
     """A named sweep the CLI can launch."""
@@ -166,6 +193,13 @@ SWEEPS: Dict[str, SweepDef] = {
             "congestion",
             "backup-path congestion probe across the capacity boundary",
             lambda ports, seed, timeout: congestion_specs(
+                ports=ports, seed=seed, timeout=timeout
+            ),
+        ),
+        SweepDef(
+            "verify",
+            "static verification grid over rewired builds and baselines",
+            lambda ports, seed, timeout: verify_specs(
                 ports=ports, seed=seed, timeout=timeout
             ),
         ),

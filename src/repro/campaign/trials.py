@@ -22,6 +22,10 @@ Kinds
     One fuzzed invariant-check trial (:mod:`repro.check`): the trial's
     seed fully determines the generated configuration, so a campaign of
     ``check`` trials is a reproducible fuzzing run.
+``verify``
+    One static verification of a built topology (:mod:`repro.verify`):
+    no simulation — the payload is the verdict plus per-check finding
+    and state counts, so a grid of topologies can be proven in parallel.
 """
 
 from __future__ import annotations
@@ -233,4 +237,50 @@ def run_check_trial(
         "invariants": outcome.invariants_violated,
         "violations": [v.to_dict() for v in outcome.violations],
         "config": config.to_dict(),
+    }
+
+
+@register_trial("verify")
+def run_verify_trial(
+    ctx: TrialContext,
+    topology: str = "fattree",
+    ports: int = 8,
+    across_ports: int = 2,
+    max_failures: int = 2,
+    samples: int = 50,
+    tie_break: str = "prefix-length",
+    **params: Any,
+) -> Dict[str, Any]:
+    """One static verification: prove/refute the backup properties of a
+    built topology, no simulator.  The payload is deterministic — same
+    spec, same verdict, same counts — so verification grids shard
+    cleanly across workers."""
+    from ..topology.graph import TopologyError
+    from ..verify import build_verify_topology, run_verification
+
+    if params:
+        raise CampaignError(f"unknown verify trial parameters: {sorted(params)}")
+    try:
+        topo = build_verify_topology(topology, ports, across_ports=across_ports)
+    except TopologyError as exc:
+        raise CampaignError(str(exc)) from exc
+    report = run_verification(
+        topo,
+        max_failures=max_failures,
+        samples=samples,
+        seed=ctx.seed,
+        tie_break=tie_break,
+    )
+    return {
+        "topology": report.topology,
+        "family": report.family,
+        "ports": ports,
+        "max_failures": report.max_failures,
+        "verdict": report.verdict,
+        "certified": report.certified,
+        "refuted_checks": report.refuted_checks(),
+        "n_errors": report.severity_total("error"),
+        "n_caveats": report.severity_total("caveat"),
+        "totals": dict(sorted(report.totals.items())),
+        "stats": report.stats,
     }

@@ -346,6 +346,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--selftest", action="store_true",
         help="run the seeded fault-mutant matrix instead of fuzz trials",
     )
+    verify = sub.add_parser(
+        "verify",
+        help="statically prove (or refute) the F2Tree backup properties "
+        "of a built topology — no simulation (see DESIGN.md §8)",
+    )
+    verify.add_argument(
+        "--topology", default="fattree",
+        help="topology family: fattree/f2tree (rewired), fat-tree (plain), "
+        "prototype, leaf-spine[-plain], vl2[-plain], aspen "
+        "(default: fattree)",
+    )
+    verify.add_argument(
+        "--ports", type=int, default=8,
+        help="switch port count (default 8)",
+    )
+    verify.add_argument(
+        "--across-ports", type=int, default=2,
+        help="across links per ring hop for f2tree builds (default 2)",
+    )
+    verify.add_argument(
+        "--max-failures", type=int, default=2,
+        help="largest failure-set size k to verify (exhaustive for k<=2, "
+        "sampled above; default 2)",
+    )
+    verify.add_argument(
+        "--samples", type=int, default=50,
+        help="failure sets sampled per k when k>2 (default 50)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=1,
+        help="seed for k>2 failure-set sampling (default 1)",
+    )
+    verify.add_argument(
+        "--tie-break", choices=("prefix-length", "none"),
+        default="prefix-length",
+        help="backup-route tie break to verify (default: prefix-length)",
+    )
+    verify.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="verify a seeded defect build instead (see --selftest for "
+        "the full matrix); the mutant picks its own topology",
+    )
+    verify.add_argument(
+        "--selftest", action="store_true",
+        help="run the seeded wiring/FIB mutant matrix: each must be "
+        "refuted by its expected check and its witness must replay",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON",
+    )
+    verify.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the JSON report to this file",
+    )
     return parser
 
 
@@ -388,8 +443,9 @@ def _cmd_report(args) -> int:
         events = read_jsonl(args.trace)
         breakdown = analyze_recovery(events)
     except (TraceAnalysisError, OSError, ValueError, KeyError, TypeError) as exc:
+        # unusable input is a usage error (2), not a violation (1)
         print(f"cannot analyze {args.trace}: {exc}", file=sys.stderr)
-        return 1
+        return 2
     if args.json:
         print(breakdown.to_json())
     else:
@@ -482,6 +538,52 @@ def _cmd_check(args) -> int:
     return 1 if (report.failed or violating) else 0
 
 
+def _cmd_verify(args) -> int:
+    from .topology.graph import TopologyError
+    from .verify import build_verify_topology, run_verification
+
+    if args.selftest:
+        from .verify.mutants import render_selftest, run_selftest
+
+        results = run_selftest(max_failures=args.max_failures)
+        print(render_selftest(results))
+        return 0 if all(r.ok for r in results) else 1
+    try:
+        if args.mutate is not None:
+            from .verify.mutants import MUTANTS, run_mutant
+
+            if args.mutate not in MUTANTS:
+                print(
+                    f"unknown mutant {args.mutate!r}; available: "
+                    f"{', '.join(sorted(MUTANTS))}",
+                    file=sys.stderr,
+                )
+                return 2
+            report = run_mutant(
+                MUTANTS[args.mutate], max_failures=args.max_failures
+            )
+        else:
+            topo = build_verify_topology(
+                args.topology, args.ports, across_ports=args.across_ports
+            )
+            report = run_verification(
+                topo,
+                max_failures=args.max_failures,
+                samples=args.samples,
+                seed=args.seed,
+                tie_break=args.tie_break,
+            )
+    except TopologyError as exc:
+        print(f"cannot build topology: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json() + "\n")
+        print(f"wrote verification report to {args.out}", file=sys.stderr)
+    return 0 if report.certified else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -496,6 +598,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

@@ -134,18 +134,29 @@ def configure_backup_routes(
     network: Network,
     dcn_prefix: Prefix = DCN_PREFIX,
     tie_break: str = "prefix-length",
+    on_error: str = "raise",
 ) -> Dict[str, List[StaticRoute]]:
     """Install F²Tree backup routes on every ring switch of a network.
 
     Returns the per-switch configuration — the complete set of changes an
     operator would deploy (together with the rewiring plan, this *is*
-    F²Tree).
+    F²Tree).  ``on_error='skip'`` tolerates switches whose ring cannot be
+    derived (miswired across links): they simply get no backup routes,
+    like a deployment whose config push failed there — the mode the
+    static verifier uses to replay miswiring counterexamples.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"unknown on_error {on_error!r}")
     configured: Dict[str, List[StaticRoute]] = {}
     for spec in network.topology.switches():
-        routes = backup_routes_for(
-            network.topology, spec.name, dcn_prefix, tie_break
-        )
+        try:
+            routes = backup_routes_for(
+                network.topology, spec.name, dcn_prefix, tie_break
+            )
+        except TopologyError:
+            if on_error == "raise":
+                raise
+            continue
         if not routes:
             continue
         if tie_break == "none":

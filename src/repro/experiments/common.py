@@ -75,6 +75,7 @@ def build_bundle(
     routing_options: Optional[object] = None,
     obs: Optional[Observability] = None,
     sim: Optional[Simulator] = None,
+    backup_on_error: str = "raise",
 ) -> Bundle:
     """Instantiate a network with a control plane (and backup routes if
     F²-style).
@@ -90,6 +91,9 @@ def build_bundle(
     ``sim`` substitutes a pre-built simulator (e.g. the instrumented
     :class:`~repro.check.execute.CheckedSimulator`); ``obs`` is ignored
     in that case — the provided simulator keeps its own facade.
+    ``backup_on_error='skip'`` tolerates switches with underivable ring
+    configs (used to replay miswiring counterexamples on deliberately
+    broken topologies).
     """
     if sim is None:
         sim = Simulator(obs=obs)
@@ -114,7 +118,9 @@ def build_bundle(
         link.kind is LinkKind.ACROSS for link in topology.links.values()
     )
     backup_config = (
-        configure_backup_routes(network, tie_break=backup_tie_break)
+        configure_backup_routes(
+            network, tie_break=backup_tie_break, on_error=backup_on_error
+        )
         if has_across
         else None
     )

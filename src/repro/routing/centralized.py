@@ -24,7 +24,10 @@ would only make the plain fabric look worse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # runtime import would be circular
+    from ..dataplane.network import Network
 
 from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
@@ -236,7 +239,7 @@ class CentralizedAgent:
 
 
 def deploy_centralized(
-    network,
+    network: "Network",
     control: Optional[ControllerParams] = None,
     advertise_loopbacks: bool = True,
 ) -> Tuple[CentralizedController, Dict[str, CentralizedAgent]]:

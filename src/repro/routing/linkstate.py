@@ -23,7 +23,10 @@ F²Tree's point is precisely that its static backup routes bypass steps
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # runtime import would be circular
+    from ..dataplane.network import Network
 
 from ..net.fib import FibEntry
 from ..net.ip import Prefix
@@ -270,7 +273,9 @@ class LinkStateProtocol:
         return self._advertised
 
 
-def deploy_linkstate(network, advertise_loopbacks: bool = True) -> Dict[str, LinkStateProtocol]:
+def deploy_linkstate(
+    network: "Network", advertise_loopbacks: bool = True
+) -> Dict[str, LinkStateProtocol]:
     """Install a protocol instance on every switch of a network.
 
     ToRs/leaves advertise their host subnet (the paper's "each ToR will

@@ -33,7 +33,10 @@ downward failure is again bridged locally while path hunting plays out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # runtime import would be circular
+    from ..dataplane.network import Network
 
 from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
@@ -317,7 +320,7 @@ class PathVectorProtocol:
 
 
 def deploy_pathvector(
-    network,
+    network: "Network",
     protocol_params: Optional[PathVectorParams] = None,
     advertise_loopbacks: bool = True,
 ) -> Dict[str, PathVectorProtocol]:

@@ -1,0 +1,180 @@
+"""Replay a static counterexample under the checked simulator.
+
+A refutation from :mod:`repro.verify` is a claim about a system nobody
+ran.  :func:`replay_witness` closes that loop: build the same (possibly
+mutated) network under ``CheckedSimulator``, converge it, apply the
+dynamic twin of the FIB defect if there is one, fail exactly the
+witness's links, and — once the failure-detection window has passed but
+before SPF reconvergence can repair anything — observe the predicted
+loop or black hole in the *live* forwarding graph.
+
+The forwarding graph is read through each switch's real ``Fib.matches``
+and ``neighbor_alive``, not through any reference model, so a
+reproduced witness means the deployed data plane misbehaves, not just
+the verifier's abstraction of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.fib import LOCAL, FibEntry
+from ..net.ip import IPv4Address, Prefix
+from ..dataplane.params import NetworkParams
+from ..sim.units import milliseconds
+from ..topology.graph import Topology
+from .checks import Witness
+
+#: forwarding graph: switch -> [(next hop, entry)] of its first live match
+_Edges = Dict[str, List[Tuple[str, FibEntry]]]
+
+#: control-plane warmup before the witness failures fire
+_WARMUP = milliseconds(500)
+#: failures fire this long after warmup (same offset execute_check uses)
+_FAILURE_OFFSET = milliseconds(100)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one witness dynamically."""
+
+    reproduced: bool
+    detail: str
+    #: engine-audit violations seen during the replay (must stay empty)
+    timing_violations: int = 0
+
+
+def _live_forwarding(network, address: IPv4Address) -> Tuple[_Edges, Set[str]]:
+    """The effective forwarding graph toward ``address`` right now, plus
+    the switches that deliver locally.  Reads the patched ``fib.matches``
+    so instance-level mutations (e.g. inverted tie-break) are honoured."""
+    edges: _Edges = {}
+    delivers: Set[str] = set()
+    for switch in network.switches():
+        for entry in switch.fib.matches(address):
+            live = [
+                nh for nh in entry.next_hops
+                if nh == LOCAL or switch.neighbor_alive(str(nh))
+            ]
+            if not live:
+                continue
+            if LOCAL in live:
+                delivers.add(switch.name)
+            edges[switch.name] = [
+                (str(nh), entry) for nh in live if nh != LOCAL
+            ]
+            break
+    return edges, delivers
+
+
+def _reaches_delivery(edges: _Edges, delivers: Set[str], start: str) -> bool:
+    """Whether some live next-hop walk from ``start`` can deliver."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        if current in delivers:
+            return True
+        for nh, _entry in edges.get(current, ()):
+            if nh not in seen:
+                seen.add(nh)
+                frontier.append(nh)
+    return False
+
+
+def _observe(
+    network, witness: Witness, observations: List[ReplayResult]
+) -> None:
+    from ..check.invariants import find_cycles
+
+    address = Prefix(witness.subnet).address(2)
+    edges, delivers = _live_forwarding(network, address)
+    if witness.kind == "loop":
+        predicted = set(witness.nodes)
+        for cycle in find_cycles(edges):
+            members = {node for node, _, _ in cycle}
+            if members & predicted:
+                observations.append(ReplayResult(
+                    True,
+                    "live forwarding cycle "
+                    f"{'->'.join(node for node, _, _ in cycle)} toward "
+                    f"{witness.destination} (predicted {list(witness.nodes)})",
+                ))
+                return
+        observations.append(ReplayResult(
+            False,
+            f"no live cycle touching {list(witness.nodes)} toward "
+            f"{witness.destination}",
+        ))
+        return
+    # blackhole: the witness switch must be unable to reach delivery
+    if witness.at not in edges:
+        observations.append(ReplayResult(
+            True,
+            f"{witness.at} has no live route toward {witness.destination}",
+        ))
+    elif not _reaches_delivery(edges, delivers, witness.at):
+        observations.append(ReplayResult(
+            True,
+            f"every live walk from {witness.at} toward "
+            f"{witness.destination} dead-ends",
+        ))
+    else:
+        observations.append(ReplayResult(
+            False,
+            f"packets from {witness.at} still reach {witness.destination}",
+        ))
+
+
+def replay_witness(
+    topo: Topology,
+    witness: Witness,
+    tie_break: str = "prefix-length",
+    apply_dynamic: Optional[Callable[[object], None]] = None,
+) -> ReplayResult:
+    """Reproduce one static counterexample under ``CheckedSimulator``.
+
+    ``topo`` must be the same (mutated) topology the verifier refuted;
+    ``apply_dynamic`` is the bundle patch matching any model-level FIB
+    mutation.  The observation happens after the detection window and
+    before the earliest possible SPF repair, i.e. inside the fast-
+    reroute window the witness speaks about (for an empty failure set —
+    a baseline defect — it happens right after convergence).
+    """
+    from ..check.config import fast_overrides
+    from ..check.execute import PRIORITY_CHECK, CheckedSimulator
+    from ..experiments.common import build_bundle
+
+    params = NetworkParams().with_overrides(**dict(fast_overrides()))
+    sim = CheckedSimulator()
+    bundle = build_bundle(
+        topo, params=params, seed=1, backup_tie_break=tie_break, sim=sim,
+        backup_on_error="skip",
+    )
+    bundle.converge(until=_WARMUP)
+    if apply_dynamic is not None:
+        apply_dynamic(bundle)
+
+    pairs = sorted(set(witness.failed))
+    if pairs:
+        fail_at = _WARMUP + _FAILURE_OFFSET
+        for a, b in pairs:
+            bundle.network.schedule_link_failure(a, b, fail_at)
+        # after detection (backups engaged), before the SPF initial delay
+        observe_at = fail_at + params.detection_delay + milliseconds(2)
+    else:
+        observe_at = _WARMUP + milliseconds(2)
+
+    observations: List[ReplayResult] = []
+    sim.schedule_at(
+        observe_at, _observe, bundle.network, witness, observations,
+        priority=PRIORITY_CHECK,
+    )
+    sim.run(until=observe_at + milliseconds(1))
+    result = observations[0]
+    return ReplayResult(
+        reproduced=result.reproduced,
+        detail=result.detail,
+        timing_violations=len(sim.timing_violations),
+    )

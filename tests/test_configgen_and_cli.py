@@ -163,5 +163,6 @@ class TestCliRecoverReport:
     def test_report_rejects_undecipherable_trace(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert main(["report", str(empty)]) == 1
+        # unusable input is a usage error (2), not a refuted property (1)
+        assert main(["report", str(empty)]) == 2
         assert "cannot analyze" in capsys.readouterr().err

@@ -1,0 +1,106 @@
+"""Tests for the determinism lint (tools/lint_determinism.py): the repo
+tree must be clean, and each rule must actually fire on a violation."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_determinism import lint_paths, lint_source, main  # noqa: E402
+
+
+def rules(source: str, path: str = "src/repro/example.py"):
+    return [f.rule for f in lint_source(source, path)]
+
+
+class TestRules:
+    def test_wall_clock_calls_flagged(self):
+        src = (
+            "import time\nfrom datetime import datetime\n"
+            "a = time.time()\n"
+            "b = time.time_ns()\n"
+            "c = datetime.now()\n"
+            "d = datetime.utcnow()\n"
+        )
+        assert rules(src) == ["wall-clock"] * 4
+
+    def test_simulated_clock_is_fine(self):
+        assert rules("now = sim.now\nt = time.monotonic()\n") == []
+
+    def test_module_random_flagged(self):
+        src = "import random\nx = random.random()\ny = random.choice(xs)\n"
+        assert rules(src) == ["module-random"] * 2
+
+    def test_seeded_rng_construction_allowed(self):
+        src = "import random\nrng = random.Random(seed)\nv = rng.random()\n"
+        assert rules(src) == []
+
+    def test_randomness_module_is_allowlisted(self):
+        src = "import random\nx = random.getrandbits(64)\n"
+        assert rules(src, "src/repro/sim/randomness.py") == []
+        assert rules(src, "src/repro/core/other.py") == ["module-random"]
+
+    def test_set_iteration_flagged(self):
+        src = (
+            "for x in {1, 2, 3}:\n    pass\n"
+            "ys = [y for y in set(items)]\n"
+            "zs = {z for z in frozenset(items)}\n"
+        )
+        assert rules(src) == ["set-iteration"] * 3
+
+    def test_sorted_set_iteration_is_fine(self):
+        src = (
+            "for x in sorted({1, 2, 3}):\n    pass\n"
+            "names = set(items)\n"
+            "for n in ordered:\n    pass\n"
+        )
+        assert rules(src) == []
+
+    def test_finding_carries_location(self):
+        (finding,) = lint_source("import time\nt = time.time()\n", "mod.py")
+        assert finding.path == "mod.py" and finding.line == 2
+        assert "wall clock" in str(finding)
+
+
+class TestTree:
+    def test_repo_source_tree_is_clean(self):
+        findings = lint_paths([REPO / "src" / "repro"])
+        assert findings == [], "\n".join(map(str, findings))
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(REPO / "src" / "repro")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "wall-clock" in captured.out
+        assert "violation" in captured.err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (:\n")
+        assert main([str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("loop_head", ["for x in", "async def f():\n    async for x in"])
+def test_async_for_also_checked(loop_head):
+    if "async" in loop_head:
+        src = f"{loop_head} {{1, 2}}:\n        pass\n"
+    else:
+        src = f"{loop_head} {{1, 2}}:\n    pass\n"
+    assert rules(src) == ["set-iteration"]

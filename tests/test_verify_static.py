@@ -1,0 +1,214 @@
+"""Static verifier tests: certification of clean builders, the mutant
+self-test diagonal, the bridge to the dynamic fuzzer's fault mutants,
+and the CLI exit-code contract.
+
+The key acceptance property (ISSUE: differential oracle) splits in two:
+
+* every wiring/FIB fault the dynamic fuzzer catches is refuted
+  *statically* by ``repro.verify`` (no packet needs to be lost first);
+* every static counterexample that corresponds to a forwarding fault
+  replays under ``CheckedSimulator`` — the witness is not an artifact
+  of the symbolic model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.mutants import MUTANTS as DYNAMIC_MUTANTS
+from repro.cli import main
+from repro.verify import build_verify_topology, run_verification
+from repro.verify.mutants import (
+    CHECK_EQUIVALENTS,
+    MUTANTS,
+    check_mutant,
+    run_selftest,
+)
+
+# ------------------------------------------------------------ certification
+
+#: clean builds the verifier must certify: the rewired fabrics and the
+#: plain baselines (which degrade on downward failure — warnings — but
+#: violate no claim the paper actually makes about them).
+CLEAN_BUILDS = [
+    ("fattree", 6),        # f2tree(6): the paper's fabric
+    ("fattree", 8),        # the acceptance-command build
+    ("fat-tree", 4),       # plain fat tree, no rings, no backups
+    ("leaf-spine", 8),     # f2_leaf_spine adaptation (spine ring)
+    ("leaf-spine-plain", 8),
+    ("vl2-plain", 4),
+    ("aspen", 4),
+]
+
+
+@pytest.mark.parametrize("family,ports", CLEAN_BUILDS)
+def test_clean_builder_is_certified(family, ports):
+    report = run_verification(
+        build_verify_topology(family, ports), max_failures=2
+    )
+    assert report.certified, (
+        f"{family}/{ports} must certify; refuted: {report.refuted_checks()}"
+        f"\n{report.render()}"
+    )
+    assert report.verdict == "CERTIFIED"
+    assert report.refuted_checks() == []
+
+
+def test_f2tree_two_failure_loop_is_a_caveat_not_an_error():
+    """The paper's documented limitation — two failures on one ring can
+    transiently ping-pong until convergence — must surface as an explicit
+    caveat finding while the fabric still certifies."""
+    report = run_verification(
+        build_verify_topology("fattree", 6), max_failures=2
+    )
+    assert report.certified
+    assert report.severity_total("caveat") > 0
+    assert any(
+        f.defect == "transient-ring-loop"
+        and f.witness is not None
+        and len(f.witness.failed) == 2
+        for f in report.caveats
+    )
+    # the caveat needs exactly two failures: k=1 never loops the ring
+    k1 = run_verification(
+        build_verify_topology("fattree", 6), max_failures=1
+    )
+    assert k1.certified and k1.severity_total("caveat") == 0
+
+
+@pytest.mark.parametrize("family,ports", [
+    # rewire_fat_tree_prototype steals core ports for the pair ring, so
+    # the partner's converged route to half the pods runs through its
+    # ring neighbor: a genuine one-failure transient loop (DESIGN.md §8)
+    ("prototype", 4),
+    # f2_vl2's ring neighbor does not share the ToR's uplinks and the
+    # across links leak into SPF: one failure ping-pongs agg<->agg
+    ("vl2", 4),
+])
+def test_known_unsound_adaptations_are_refuted(family, ports):
+    """True positives: builds whose backup scheme violates the paper's
+    own soundness argument are refuted, not rubber-stamped — a single
+    failure already yields a forwarding loop along the ring."""
+    report = run_verification(
+        build_verify_topology(family, ports), max_failures=1
+    )
+    assert not report.certified
+    loops = [
+        f for f in report.errors
+        if f.defect == "forwarding-loop"
+        and f.witness is not None
+        and f.witness.kind == "loop"
+        and len(f.witness.failed) == 1
+    ]
+    assert loops, report.render()
+
+
+def test_verification_is_deterministic():
+    a = run_verification(build_verify_topology("fattree", 6), max_failures=2)
+    b = run_verification(build_verify_topology("fattree", 6), max_failures=2)
+    assert a.to_dict() == b.to_dict()
+
+
+# ------------------------------------------------- mutant self-test diagonal
+
+#: mutants whose defect manifests as a forwarding fault, and therefore
+#: must produce a witness that replays under CheckedSimulator; the other
+#: two (ring-link-cut, ring-order-swapped) are census/spec defects that
+#: static analysis sees *before* any packet would be lost.
+REPLAYABLE = {
+    "statics-withdrawn",
+    "backup-tiebreak-none",
+    "lpm-inverted",
+    "backup-prefix-too-long",
+    "pod-ring-unwired",
+    "cross-pod-across",
+}
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_refuted_by_expected_check(name):
+    result = check_mutant(name, max_failures=2)
+    assert result.baseline == (), (
+        f"baseline for {name} must certify, refuted: {result.baseline}"
+    )
+    assert result.expected in result.caught, (
+        f"{name} must be refuted by {result.expected!r}, got {result.caught}"
+    )
+    if name in REPLAYABLE:
+        assert result.replayed is True, (
+            f"{name}: witness must replay dynamically: {result.replay_detail}"
+        )
+    else:
+        assert result.replayed is None
+    assert result.ok
+
+
+def test_selftest_matrix_all_green():
+    results = run_selftest(max_failures=2)
+    assert sorted(r.name for r in results) == sorted(MUTANTS)
+    assert all(r.ok for r in results)
+
+
+# -------------------------------------------------- bridge to the dyn fuzzer
+
+@pytest.mark.parametrize("dynamic_name", sorted(CHECK_EQUIVALENTS))
+def test_dynamic_fault_has_a_static_twin(dynamic_name):
+    """Every FIB/wiring fault the fuzzer catches dynamically (covered
+    exhaustively by test_check_mutants.py) is refuted statically by its
+    twin — the differential-oracle half owned by this module."""
+    assert dynamic_name in DYNAMIC_MUTANTS
+    twin = CHECK_EQUIVALENTS[dynamic_name]
+    result = check_mutant(twin, max_failures=2)
+    assert result.ok
+    assert result.expected in result.caught
+
+
+def test_behavioural_faults_have_no_static_twin():
+    """Protocol-behaviour faults (flooding, detection, channel loss) are
+    invisible to a model of installed state — deliberately unmapped."""
+    unmapped = set(DYNAMIC_MUTANTS) - set(CHECK_EQUIVALENTS)
+    assert unmapped == {
+        "lsa-flood-dropped", "detection-disabled", "channel-leak",
+    }
+
+
+# ------------------------------------------------------------ CLI exit codes
+
+class TestCliExitCodes:
+    """0 = certified/ok, 1 = refuted/violated, 2 = usage error — the
+    contract shared by check, sweep, report and verify."""
+
+    def test_certified_build_exits_zero(self, capsys):
+        assert main(["verify", "--topology", "fattree", "--ports", "6",
+                     "--max-failures", "1"]) == 0
+        assert "CERTIFIED" in capsys.readouterr().out
+
+    def test_refuted_mutant_exits_one(self, capsys):
+        assert main(["verify", "--mutate", "ring-link-cut",
+                     "--max-failures", "1"]) == 1
+        assert "REFUTED" in capsys.readouterr().out
+
+    def test_unknown_topology_exits_two(self, capsys):
+        assert main(["verify", "--topology", "moebius-tree"]) == 2
+        assert "cannot build topology" in capsys.readouterr().err
+
+    def test_unknown_mutant_exits_two(self, capsys):
+        assert main(["verify", "--mutate", "no-such-defect"]) == 2
+        assert "unknown mutant" in capsys.readouterr().err
+
+    def test_json_report_and_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["verify", "--topology", "fattree", "--ports", "6",
+                     "--max-failures", "1", "--json", "--out", str(out)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["verdict"] == "CERTIFIED"
+        assert json.loads(out.read_text()) == printed
+
+    def test_verify_sweep_is_registered(self):
+        from repro.campaign.sweeps import SWEEPS
+
+        assert "verify" in SWEEPS
+        specs = SWEEPS["verify"].build(8, 1, None)
+        assert specs and all(s.kind == "verify" for s in specs)

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""AST lint: keep wall clocks and unseeded randomness out of the repro.
+
+The reproduction's byte-identical-replay guarantee (DESIGN.md §5) holds
+only if every event-emitting code path is a pure function of the seed
+and the simulated clock.  This lint turns that convention into a CI
+gate.  Under ``src/repro/`` it forbids:
+
+* wall-clock reads: ``time.time()``, ``time.time_ns()``,
+  ``datetime.now()``, ``datetime.utcnow()``, ``datetime.today()``,
+  ``date.today()`` — simulated time comes from ``Simulator.now``;
+* module-level randomness: any call through the ``random`` module
+  (``random.random()``, ``random.choice()``, ...) except constructing a
+  seeded ``random.Random``/``random.SystemRandom`` instance — draws come
+  from :mod:`repro.sim.randomness` streams;
+* iteration over bare ``set`` displays/calls in ``for`` statements and
+  comprehensions — with ``PYTHONHASHSEED`` unpinned, set order varies
+  per process; iterate something ordered (or ``sorted(...)`` it).
+
+``sim/randomness.py`` itself is allowlisted: it is the one place allowed
+to touch the ``random`` module.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: dotted-call suffixes that read a wall clock
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: attributes of the ``random`` module that are fine to call (seeded or
+#: explicitly operator-facing RNG construction)
+RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: path suffixes exempt from the module-level-randomness rule
+ALLOWLIST_SUFFIXES = ("sim/randomness.py",)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _dotted(node: ast.AST) -> str:
+    """The dotted name of an attribute/name chain ('' if not one)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_bare_set(node: ast.AST) -> bool:
+    """A set display, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in ("set", "frozenset")
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, allow_random: bool) -> None:
+        self.path = path
+        self.allow_random = allow_random
+        self.findings: List[LintFinding] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        for suffix in WALL_CLOCK_CALLS:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                self._add(
+                    node, "wall-clock",
+                    f"{dotted}() reads the wall clock; use the simulated "
+                    f"clock (Simulator.now)",
+                )
+                break
+        if not self.allow_random:
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in RANDOM_ALLOWED
+            ):
+                self._add(
+                    node, "module-random",
+                    f"random.{func.attr}() uses the shared module RNG; "
+                    f"draw from a seeded repro.sim.randomness stream",
+                )
+        self.generic_visit(node)
+
+    def _check_iter(self, node: ast.AST, iter_node: ast.AST) -> None:
+        if _is_bare_set(iter_node):
+            self._add(
+                node, "set-iteration",
+                "iteration over a bare set is hash-order dependent; "
+                "sort it (or iterate something ordered)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for comp in node.generators:
+            self._check_iter(node, comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_source(source: str, path: str) -> List[LintFinding]:
+    """Lint one module's source text; ``path`` labels the findings and
+    drives the allowlist."""
+    allow_random = str(path).replace("\\", "/").endswith(ALLOWLIST_SUFFIXES)
+    tree = ast.parse(source, filename=str(path))
+    visitor = _Visitor(str(path), allow_random)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_paths(paths: Iterable[pathlib.Path]) -> List[LintFinding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[LintFinding] = []
+    for root in paths:
+        files = (
+            sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        )
+        for file in files:
+            findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    targets = [pathlib.Path(arg) for arg in argv] or [
+        pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    ]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        findings = lint_paths(targets)
+    except SyntaxError as exc:
+        print(f"cannot parse: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} determinism violation(s)", file=sys.stderr)
+        return 1
+    print(f"determinism lint clean across {len(targets)} target(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
