@@ -139,6 +139,25 @@ def execute_trial(
         )
 
 
+def execute_trials(
+    specs: Sequence[TrialSpec], default_timeout: Optional[float] = None
+) -> List[TrialOutcome]:
+    """Run a chunk of trials in the current process.
+
+    This is the unit the parallel path ships to a worker: one pickle /
+    IPC round trip per *chunk* instead of per trial, which is where
+    small grids were losing their parallelism to pool overhead.
+    """
+    return [execute_trial(spec, default_timeout) for spec in specs]
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pull in the trial-runner registry (and with it
+    the bulk of the package) once per worker at pool start-up, so the
+    first chunk a worker receives does not pay the import bill."""
+    from . import trials  # noqa: F401 — imported for its registrations
+
+
 def run_campaign(
     specs: Sequence[TrialSpec],
     name: str = "campaign",
@@ -204,6 +223,12 @@ def _run_serial(
     return records
 
 
+#: strided chunks per worker and round: >1 so one slow chunk cannot idle
+#: the rest of the pool, small enough that a little grid still ships a
+#: handful of chunks rather than one future per trial
+_CHUNKS_PER_WORKER = 2
+
+
 def _run_parallel(
     specs: Sequence[TrialSpec],
     workers: int,
@@ -213,34 +238,47 @@ def _run_parallel(
     records: List[TrialRecord] = []
     attempts: Dict[str, int] = {spec.trial_id: 0 for spec in specs}
     remaining = list(specs)
-    # Each round submits every not-yet-settled trial; a fresh pool per
-    # round also recovers from a worker process dying hard (BrokenPool
-    # marks every in-flight future, and the next round starts clean).
+    # Each round chunks every not-yet-settled trial over warm workers; a
+    # fresh pool per round also recovers from a worker process dying
+    # hard (BrokenPool marks every in-flight future, and the next round
+    # starts clean).  Results are order-independent — the report sorts
+    # records by trial_id — so strided chunking changes nothing the
+    # determinism tests can observe.
     while remaining:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        chunk_count = min(len(remaining), workers * _CHUNKS_PER_WORKER)
+        chunks = [remaining[i::chunk_count] for i in range(chunk_count)]
+        remaining = []
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_warm_worker
+        ) as pool:
             futures = {
-                pool.submit(execute_trial, spec, timeout): spec
-                for spec in remaining
+                pool.submit(execute_trials, chunk, timeout): chunk
+                for chunk in chunks
             }
-            remaining = []
             for future in as_completed(futures):
-                spec = futures[future]
-                attempts[spec.trial_id] += 1
+                chunk = futures[future]
                 try:
-                    outcome = future.result()
+                    outcomes = future.result()
                 except BaseException as exc:  # worker died / result unpicklable
                     if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                         raise
-                    outcome = TrialOutcome(
-                        trial_id=spec.trial_id,
-                        status=STATUS_FAILED,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                if (
-                    outcome.status == STATUS_FAILED
-                    and attempts[spec.trial_id] <= retries
-                ):
-                    remaining.append(spec)
-                else:
-                    records.append(_record(spec, outcome, attempts[spec.trial_id]))
+                    outcomes = [
+                        TrialOutcome(
+                            trial_id=spec.trial_id,
+                            status=STATUS_FAILED,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        for spec in chunk
+                    ]
+                for spec, outcome in zip(chunk, outcomes):
+                    attempts[spec.trial_id] += 1
+                    if (
+                        outcome.status == STATUS_FAILED
+                        and attempts[spec.trial_id] <= retries
+                    ):
+                        remaining.append(spec)
+                    else:
+                        records.append(
+                            _record(spec, outcome, attempts[spec.trial_id])
+                        )
     return records

@@ -16,7 +16,7 @@ from ..failures.injector import FailureEvent, schedule_failures
 from ..failures.scenarios import build_scenario
 from ..net.packet import PROTO_UDP
 from ..obs import Observability
-from ..sim.engine import PRIORITY_NORMAL, Simulator
+from ..sim.engine import PRIORITY_NORMAL, SimulationError, Simulator
 from ..sim.units import Time, milliseconds
 from ..topology.graph import Topology
 from ..transport.udp import UdpSender, UdpSink
@@ -72,6 +72,16 @@ class CheckedSimulator(Simulator):
             return callback(*call_args)
 
         return super().schedule_at(time, audited, *args, priority=priority)
+
+    def schedule(self, delay, callback, *args, priority=PRIORITY_NORMAL):
+        # the base class inlines schedule() for speed instead of routing
+        # through schedule_at(), so the audit wrapper must be applied on
+        # this path explicitly
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(
+            self.now + delay, callback, *args, priority=priority
+        )
 
 
 def _describe(callback) -> str:

@@ -346,6 +346,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--selftest", action="store_true",
         help="run the seeded fault-mutant matrix instead of fuzz trials",
     )
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path throughput benchmarks (event loop, forwarding, "
+        "SPF) with a ratio-based perf-regression gate",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads, no campaign comparison (CI smoke)",
+    )
+    bench.add_argument(
+        "--no-campaign", action="store_true",
+        help="skip the serial-vs-parallel campaign comparison",
+    )
+    bench.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="committed BENCH_hotpath.json to gate against; exit 1 when "
+        "any optimized/naive ratio regressed past --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional ratio regression vs the baseline "
+        "(default 0.30)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the result as JSON instead of the summary",
+    )
+    bench.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the JSON result to this file",
+    )
     verify = sub.add_parser(
         "verify",
         help="statically prove (or refute) the F2Tree backup properties "
@@ -538,6 +569,47 @@ def _cmd_check(args) -> int:
     return 1 if (report.failed or violating) else 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import (
+        DEFAULT_TOLERANCE,
+        check_regression,
+        render,
+        run_hotpath_bench,
+        to_json,
+    )
+
+    result = run_hotpath_bench(
+        quick=args.quick, campaign=not args.no_campaign
+    )
+    print(to_json(result) if args.json else render(result))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(to_json(result))
+        print(f"wrote bench result to {args.out}", file=sys.stderr)
+    if args.baseline is not None:
+        try:
+            import json as _json
+
+            baseline = _json.loads(args.baseline.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        failures = check_regression(result, baseline, tolerance)
+        for failure in failures:
+            print(f"PERF REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"no perf regression vs {args.baseline} "
+            f"(tolerance {tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .topology.graph import TopologyError
     from .verify import build_verify_topology, run_verification
@@ -598,6 +670,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "verify":
         return _cmd_verify(args)
 

@@ -196,6 +196,20 @@ class _EndpointDetector:
         self._pending = None
         self._notify(self.node, self.detected_up)
 
+    def force(self, up: bool) -> None:
+        """Set the detected state synchronously (test/analysis hook).
+
+        Cancels any in-flight detection and invalidates the node's
+        liveness caches directly — *without* the routing-agent
+        notification — so frozen-control-plane experiments can flip
+        beliefs while the data plane stays cache-coherent.
+        """
+        self._timer.cancel()
+        self._pending = None
+        if self.detected_up != up:
+            self.detected_up = up
+            self.node._bump_adjacency_epoch()
+
 
 class RuntimeLink:
     """A bidirectional link instance bound to two runtime nodes.
@@ -265,6 +279,17 @@ class RuntimeLink:
     def detected_up_by(self, node_name: str) -> bool:
         """Whether ``node_name`` currently believes this link is up."""
         return self._detectors[node_name].detected_up
+
+    def force_detection(self, up: bool) -> None:
+        """Force both endpoints' *detected* state synchronously.
+
+        For frozen-dataplane tests and offline analysis that flip
+        beliefs without running simulator events: detection timers are
+        cancelled, liveness caches are invalidated, and routing agents
+        are **not** notified (the control plane stays frozen).
+        """
+        for detector in self._detectors.values():
+            detector.force(up)
 
     def fail(self) -> None:
         """Take the link down in both directions (the paper's failures)."""

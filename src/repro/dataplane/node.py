@@ -75,6 +75,13 @@ class NetworkNode:
         self.ip: IPv4Address = spec.ip
         self.links: List[RuntimeLink] = []
         self.links_by_peer: Dict[str, List[RuntimeLink]] = {}
+        #: bumped whenever this node's *detected* adjacency changes; every
+        #: liveness cache below (and the switch resolve cache) keys off it
+        self.adjacency_epoch = 0
+        #: peer -> live links, valid for the current adjacency epoch
+        self._live_links_cache: Dict[str, List[RuntimeLink]] = {}
+        #: peer -> liveness bool, valid for the current adjacency epoch
+        self._alive_cache: Dict[str, bool] = {}
         self.drops: Counter = Counter()
         #: handlers keyed by (protocol, local port); port 0 = any port
         self._handlers: Dict[tuple, PacketHandler] = {}
@@ -87,18 +94,48 @@ class NetworkNode:
         peer = link.other(self.name).name
         self.links.append(link)
         self.links_by_peer.setdefault(peer, []).append(link)
+        self._bump_adjacency_epoch()
+
+    def _bump_adjacency_epoch(self) -> None:
+        """Invalidate every liveness-derived cache on this node."""
+        self.adjacency_epoch += 1
+        self._live_links_cache.clear()
+        self._alive_cache.clear()
 
     def live_links_to(self, peer: str) -> List[RuntimeLink]:
-        """Links to ``peer`` this node currently believes are up."""
-        return [
-            link
-            for link in self.links_by_peer.get(peer, ())
-            if link.detected_up_by(self.name)
-        ]
+        """Links to ``peer`` this node currently believes are up.
+
+        Cached per adjacency epoch; callers must treat the list as
+        read-only (every mutation path goes through the detectors, which
+        bump the epoch via :meth:`on_adjacency_change`).
+        """
+        cached = self._live_links_cache.get(peer)
+        if cached is None:
+            name = self.name
+            cached = [
+                link
+                for link in self.links_by_peer.get(peer, ())
+                if link.detected_up_by(name)
+            ]
+            self._live_links_cache[peer] = cached
+        return cached
 
     def neighbor_alive(self, peer: str) -> bool:
-        """True while at least one link to ``peer`` is detected up."""
-        return bool(self.live_links_to(peer))
+        """True while at least one link to ``peer`` is detected up.
+
+        Short-circuits on the first detected-up link — no list is built
+        on the per-packet path — and memoizes per adjacency epoch.
+        """
+        alive = self._alive_cache.get(peer)
+        if alive is None:
+            alive = False
+            name = self.name
+            for link in self.links_by_peer.get(peer, ()):
+                if link.detected_up_by(name):
+                    alive = True
+                    break
+            self._alive_cache[peer] = alive
+        return alive
 
     def register_handler(self, protocol: int, port: int, handler: PacketHandler) -> None:
         """Register a transport handler; ``port=0`` catches every port."""
@@ -153,7 +190,12 @@ class NetworkNode:
         handler(packet, self)
 
     def on_adjacency_change(self, link: RuntimeLink, up: bool) -> None:
-        """Failure detection callback; overridden by switches."""
+        """Failure detection callback; switches extend this.
+
+        Detected link state only ever changes immediately before this is
+        invoked (``_EndpointDetector._fire``), so bumping the epoch here
+        is what keeps the liveness caches coherent."""
+        self._bump_adjacency_epoch()
 
 
 class SwitchNode(NetworkNode):
@@ -163,6 +205,12 @@ class SwitchNode(NetworkNode):
         super().__init__(sim, params, spec)
         self.fib = Fib()
         self.salt = fnv1a_64(spec.name.encode("utf-8"))
+        #: destination value -> (entry, live next hops, depth), valid for
+        #: _resolve_cache_key = (fib generation, adjacency epoch); the
+        #: ECMP hash stays per-packet, so caching the pruned candidate
+        #: set cannot change which hop any flow takes
+        self._resolve_cache: Dict[int, tuple] = {}
+        self._resolve_cache_key = (-1, -1)
         self.routing_agent: Optional[RoutingAgent] = None
         #: directly attached hosts: ip value -> link to the host
         self.local_hosts: Dict[int, RuntimeLink] = {}
@@ -180,6 +228,7 @@ class SwitchNode(NetworkNode):
         With parallel links the peer is only reported down when its last
         live link goes, and up on the first revival.
         """
+        super().on_adjacency_change(link, up)  # invalidate liveness caches
         peer = link.other(self.name).name
         live = len(self.live_links_to(peer))
         if self.routing_agent is None:
@@ -281,16 +330,44 @@ class SwitchNode(NetworkNode):
 
         ``depth`` 0 means the longest match had a live next hop; >0 counts
         the dead longer matches skipped (backup-route fall-through).
+
+        The (entry, live hop set, depth) triple is a pure function of the
+        destination given the FIB generation and adjacency epoch, so it is
+        cached per destination; only the flow-key ECMP selection runs per
+        packet.  :meth:`_resolve_walk` is the uncached reference walk the
+        differential tests compare against.
+        """
+        key = (self.fib.generation, self.adjacency_epoch)
+        cache = self._resolve_cache
+        if self._resolve_cache_key != key:
+            cache.clear()
+            self._resolve_cache_key = key
+        dst = packet.dst
+        cached = cache.get(dst.value)
+        if cached is None:
+            cached = self._resolve_walk(dst)
+            cache[dst.value] = cached
+        entry, live, depth = cached
+        if entry is None:
+            return None, None, depth
+        return entry, select_next_hop(live, packet.flow_key, self.salt), depth
+
+    def _resolve_walk(self, dst: IPv4Address):
+        """Uncached LPM fall-through: ``(entry, live hops, depth)``.
+
+        Walks the (itself cached) FIB chain longest-first, pruning next
+        hops whose adjacency is detected dead — byte-identical to the
+        pre-cache walk over ``Fib.matches``.
         """
         depth = 0
-        for entry in self.fib.matches(packet.dst):
+        for entry in self.fib.chain(dst):
             live = [
                 nh
                 for nh in entry.next_hops
                 if nh == LOCAL or self.neighbor_alive(nh)  # type: ignore[arg-type]
             ]
             if live:
-                return entry, select_next_hop(live, packet.flow_key, self.salt), depth
+                return entry, live, depth
             depth += 1
         return None, None, depth
 

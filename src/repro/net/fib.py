@@ -13,6 +13,17 @@ The trie is a straightforward binary (bit-at-a-time) trie.  At the scales of
 the paper's experiments (tens of routes per switch) anything would do; the
 trie keeps lookups O(32) regardless of route count and is the natural thing
 to test with hypothesis against a brute-force reference.
+
+Steady-state forwarding never changes the FIB, so the per-destination
+**match chain** (every covering entry, longest first) is cached by
+destination address and invalidated wholesale by a :attr:`Fib.generation`
+counter that every install/withdraw/clear bumps.  :meth:`Fib.chain` is the
+cached entry point the data plane uses; :meth:`Fib.matches` remains the
+uncached trie walk and is the reference the differential tests compare
+against.  The cache only memoizes the pure address→entries function — all
+liveness pruning stays in the data plane — so cached and uncached lookups
+are byte-identical by construction, and the hypothesis differential test
+in ``tests/test_fastpath.py`` pins it.
 """
 
 from __future__ import annotations
@@ -65,6 +76,11 @@ class Fib:
         #: lifetime churn counters (observability: FIB update audit trails)
         self.installs = 0
         self.withdrawals = 0
+        #: bumped on every mutation; consumers key caches off it
+        self.generation = 0
+        #: destination value -> match chain, valid for _cache_generation
+        self._chain_cache: dict[int, Tuple[FibEntry, ...]] = {}
+        self._cache_generation = 0
 
     def __len__(self) -> int:
         return self._count
@@ -72,6 +88,7 @@ class Fib:
     def install(self, entry: FibEntry) -> None:
         """Insert or replace the entry for ``entry.prefix``."""
         self.installs += 1
+        self.generation += 1
         node = self._root
         for bit_index in range(entry.prefix.length):
             bit = (entry.prefix.network >> (31 - bit_index)) & 1
@@ -104,6 +121,7 @@ class Fib:
         node.entry = None
         self._count -= 1
         self.withdrawals += 1
+        self.generation += 1
         for parent, bit in reversed(path):
             child = parent.children[bit]
             assert child is not None
@@ -145,11 +163,27 @@ class Fib:
                 chain.append(node.entry)
         yield from reversed(chain)
 
+    def chain(self, address: IPv4Address) -> Tuple[FibEntry, ...]:
+        """The cached match chain for ``address`` (longest prefix first).
+
+        Semantically ``tuple(self.matches(address))``; the trie walk runs
+        once per (destination, generation) and every later lookup is a
+        dict hit.  The steady-state forwarding path goes through here.
+        """
+        if self._cache_generation != self.generation:
+            self._chain_cache.clear()
+            self._cache_generation = self.generation
+        value = address.value
+        cached = self._chain_cache.get(value)
+        if cached is None:
+            cached = tuple(self.matches(address))
+            self._chain_cache[value] = cached
+        return cached
+
     def lookup(self, address: IPv4Address) -> Optional[FibEntry]:
         """Plain longest-prefix match (first element of :meth:`matches`)."""
-        for entry in self.matches(address):
-            return entry
-        return None
+        chain = self.chain(address)
+        return chain[0] if chain else None
 
     def entries(self) -> Iterator[FibEntry]:
         """Iterate all installed entries (no defined order guarantees beyond
@@ -167,3 +201,4 @@ class Fib:
         """Remove every entry."""
         self._root = _TrieNode()
         self._count = 0
+        self.generation += 1

@@ -37,7 +37,8 @@ from ..net.packet import Packet
 from ..sim.engine import Simulator, Timer
 from ..sim.units import Time, milliseconds
 from .lsdb import Lsa, Lsdb
-from .spf import RouteTable, compute_routes
+from .spf import RouteTable
+from .spf_cache import compute_routes_cached
 
 #: FIB entry source tag for controller-installed routes.
 SOURCE = "centralized"
@@ -130,7 +131,9 @@ class CentralizedController:
 
     def _compute_tables(self) -> Dict[str, RouteTable]:
         db = self._global_lsdb()
-        return {name: compute_routes(name, db) for name in self._agents}
+        # memoized: repeated recomputations over an unchanged detected
+        # graph (report churn that cancels out) reuse the shared cache
+        return {name: compute_routes_cached(name, db) for name in self._agents}
 
     def _recompute(self) -> None:
         if not self._dirty:

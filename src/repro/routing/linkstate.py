@@ -43,7 +43,8 @@ from ..sim.units import MILLISECOND, Time
 from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
 from .lsdb import Lsa, Lsdb
-from .spf import RouteTable, compute_routes
+from .spf import RouteTable
+from .spf_cache import compute_routes_cached
 
 #: FIB entry source tag for routes installed by this protocol.
 SOURCE = "linkstate"
@@ -216,7 +217,9 @@ class LinkStateProtocol:
         )
         self._last_spf_at = self.sim.now
         self._hold_expiry = self.sim.now + self._hold_current
-        self._pending_routes = compute_routes(self.name, self.lsdb)
+        # memoized: seq-only LSA refreshes under a failure storm hit the
+        # shared cache (the fingerprint ignores sequence numbers)
+        self._pending_routes = compute_routes_cached(self.name, self.lsdb)
         self._install_timer.start(self.params.fib_update_delay)
 
     def _install_pending(self) -> None:

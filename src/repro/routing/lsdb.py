@@ -34,6 +34,7 @@ class Lsdb:
 
     def __init__(self) -> None:
         self._by_origin: Dict[str, Lsa] = {}
+        self._fingerprint: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self._by_origin)
@@ -45,8 +46,30 @@ class Lsdb:
         """Store ``lsa`` if it is fresher; returns True when stored."""
         if lsa.newer_than(self._by_origin.get(lsa.origin)):
             self._by_origin[lsa.origin] = lsa
+            self._fingerprint = None
             return True
         return False
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of the *routing-relevant* content.
+
+        SPF (:func:`repro.routing.spf.compute_routes`) reads only each
+        LSA's neighbors and prefixes — never its sequence number — so the
+        fingerprint deliberately omits ``seq``.  Two databases with equal
+        fingerprints yield identical route tables for every origin, which
+        is what lets the SPF cache share results across seq-only
+        refreshes, switches, and trials.  Lazily computed, invalidated on
+        every stored insert; a seq-only refresh recomputes to an *equal*
+        tuple, so downstream caches still hit.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            fp = tuple(sorted(
+                (lsa.origin, lsa.neighbors, lsa.prefixes)
+                for lsa in self._by_origin.values()
+            ))
+            self._fingerprint = fp
+        return fp
 
     def all(self) -> Iterator[Lsa]:
         yield from self._by_origin.values()

@@ -14,19 +14,25 @@ Design notes
   so that, e.g., a link-down event at time *t* takes effect before packet
   deliveries scheduled for the same *t*.
 * The ``sequence`` counter makes ordering total and deterministic.
+* Heap entries are plain 5-slot lists ``[time, priority, sequence,
+  callback, args]`` — comparison is C-level list comparison that never
+  reaches the callback slot (``sequence`` is unique), which is what makes
+  ``heappush``/``heappop`` cheap; the ``order=True`` dataclass this
+  replaced spent most of every sift in generated ``__lt__`` calls.  The
+  callback slot doubles as the lifecycle flag: a callable is live,
+  ``None`` is cancelled, the ``_DONE`` sentinel marks an executed event.
 * Cancelled events are tracked and the heap is **lazily compacted** when
   more than half of it is dead weight, so long runs with heavy
   :class:`Timer` restart churn keep the queue proportional to the number of
   *live* events.
 * Every simulator carries an :class:`~repro.obs.Observability` facade
   (``sim.obs``) — disabled by default, in which case the loop pays one
-  boolean check per event and nothing else.
+  boolean check per event and allocates nothing.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .units import Time
@@ -42,47 +48,53 @@ PRIORITY_NORMAL = 10
 #: Queues smaller than this are never compacted (rebuild cost dwarfs gain).
 _COMPACT_MIN_QUEUE = 64
 
+#: heap-entry slot indices (see module docstring)
+_TIME, _PRIORITY, _SEQ, _CALLBACK, _ARGS = range(5)
+
+#: callback-slot sentinel for an event that already executed (a cancelled
+#: event stores ``None`` there instead)
+_DONE: Any = object()
+
+#: module-level aliases: every schedule/pop site pays a plain global load
+#: instead of a ``heapq.`` attribute lookup
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
-class _Event:
-    time: Time
-    priority: int
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    done: bool = field(compare=False, default=False)
+#: one scheduled event: ``[time, priority, sequence, callback, args]``
+_Entry = list
 
 
 class EventHandle:
     """Opaque handle for a scheduled event; supports cancellation."""
 
-    __slots__ = ("_event", "_sim")
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, event: _Event, sim: "Simulator") -> None:
-        self._event = event
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
+        self._entry = entry
         self._sim = sim
 
     @property
     def time(self) -> Time:
         """The simulated time at which the event fires."""
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
         """Whether the event has been cancelled."""
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already ran or was cancelled."""
-        event = self._event
-        if event.cancelled or event.done:
+        entry = self._entry
+        callback = entry[_CALLBACK]
+        if callback is None or callback is _DONE:
             return
-        event.cancelled = True
+        entry[_CALLBACK] = None
         self._sim._note_cancelled()
 
 
@@ -105,7 +117,7 @@ class Simulator:
             obs = Observability(enabled=False)
         #: the simulator's observability facade (trace recorder + metrics)
         self.obs = obs
-        self._queue: list[_Event] = []
+        self._queue: list[_Entry] = []
         self._now: Time = 0
         self._sequence: int = 0
         self._running = False
@@ -129,14 +141,21 @@ class Simulator:
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for a cancellation; compacts the heap when more than
-        half of it is cancelled dead weight (lazy, amortised O(1))."""
+        half of it is cancelled dead weight (lazy, amortised O(1)).
+
+        Compaction mutates the queue **in place** (slice assignment, not
+        rebinding): ``run()`` hoists the queue into a local, so a
+        cancellation from inside a callback must never swap the list
+        object out from under the running loop.
+        """
         self._cancelled_pending += 1
+        queue = self._queue
         if (
-            len(self._queue) >= _COMPACT_MIN_QUEUE
-            and self._cancelled_pending * 2 > len(self._queue)
+            len(queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(queue)
         ):
-            self._queue = [e for e in self._queue if not e.cancelled]
-            heapq.heapify(self._queue)
+            queue[:] = [e for e in queue if e[_CALLBACK] is not None]
+            heapq.heapify(queue)
             self._cancelled_pending = 0
 
     def schedule(
@@ -146,10 +165,19 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        Deliberately does **not** route through :meth:`schedule_at` —
+        this is the hottest scheduling call and the extra frame shows up
+        in every profile.  Subclasses that audit scheduling (e.g. the
+        checker's ``CheckedSimulator``) must override both methods.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        entry = [self._now + delay, priority, self._sequence, callback, args]
+        self._sequence += 1
+        _heappush(self._queue, entry)
+        return EventHandle(entry, self)
 
     def schedule_at(
         self,
@@ -163,10 +191,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self._now})"
             )
-        event = _Event(time, priority, self._sequence, callback, args)
+        entry = [time, priority, self._sequence, callback, args]
         self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event, self)
+        _heappush(self._queue, entry)
+        return EventHandle(entry, self)
 
     def run(self, until: Optional[Time] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -174,6 +202,12 @@ class Simulator:
 
         Events scheduled exactly at ``until`` do **not** run; the clock is
         left at ``until`` (or at the last event time if the queue drained).
+
+        The loop body is the hottest code in the repository: ``heappop``
+        and the queue are hoisted into locals, entries are plain lists
+        (no attribute lookups), and with observability disabled nothing
+        is allocated per event.  ``events_processed`` is published once
+        on exit (no model code reads it mid-run).
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
@@ -181,36 +215,73 @@ class Simulator:
         executed = 0
         obs = self.obs
         enabled = obs.enabled
-        if enabled:
-            executed_ctr = obs.metrics.counter("sim.events_executed")
-            cancelled_ctr = obs.metrics.counter("sim.cancelled_skipped")
-            depth_gauge = obs.metrics.gauge("sim.queue_depth")
+        queue = self._queue
+        pop = _heappop
+        done = _DONE
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    self._cancelled_pending -= 1
-                    if enabled:
-                        cancelled_ctr.inc()
-                    continue
-                if until is not None and event.time >= until:
-                    self._now = until
-                    return
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event.done = True
-                event.callback(*event.args)
-                self._events_processed += 1
-                executed += 1
+            if not enabled and max_events is None and until is None:
+                # drain-to-empty fast path (the most common call shape):
+                # pop-first — no head peek, no boundary check, zero
+                # allocations per event
+                while queue:
+                    entry = pop(queue)
+                    callback = entry[3]
+                    if callback is None:
+                        self._cancelled_pending -= 1
+                        continue
+                    self._now = entry[0]
+                    entry[3] = done
+                    callback(*entry[4])
+                    executed += 1
+            elif enabled or max_events is not None:
                 if enabled:
-                    executed_ctr.inc()
-                    depth_gauge.set(len(self._queue))
-                if max_events is not None and executed >= max_events:
-                    return
+                    executed_ctr = obs.metrics.counter("sim.events_executed")
+                    cancelled_ctr = obs.metrics.counter("sim.cancelled_skipped")
+                    depth_gauge = obs.metrics.gauge("sim.queue_depth")
+                while queue:
+                    entry = queue[0]
+                    callback = entry[3]
+                    if callback is None:
+                        pop(queue)
+                        self._cancelled_pending -= 1
+                        if enabled:
+                            cancelled_ctr.inc()
+                        continue
+                    if until is not None and entry[0] >= until:
+                        self._now = until
+                        return
+                    pop(queue)
+                    self._now = entry[0]
+                    entry[3] = done
+                    callback(*entry[4])
+                    executed += 1
+                    if enabled:
+                        executed_ctr.inc()
+                        depth_gauge.set(len(queue))
+                    if max_events is not None and executed >= max_events:
+                        return
+            else:
+                # obs-disabled run-until path: one cancellation check,
+                # one boundary check, zero allocations per event
+                while queue:
+                    entry = queue[0]
+                    callback = entry[3]
+                    if callback is None:
+                        pop(queue)
+                        self._cancelled_pending -= 1
+                        continue
+                    if until is not None and entry[0] >= until:
+                        self._now = until
+                        return
+                    pop(queue)
+                    self._now = entry[0]
+                    entry[3] = done
+                    callback(*entry[4])
+                    executed += 1
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._events_processed += executed
             self._running = False
 
     def run_until(self, deadline: Time, max_events: Optional[int] = None) -> None:
@@ -233,15 +304,22 @@ class Simulator:
         self.run(until=deadline, max_events=max_events)
 
     def step(self) -> bool:
-        """Execute exactly one pending event; returns False if queue empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        """Execute exactly one pending event; returns False if queue empty.
+
+        Cancelled entries encountered on the way are drained with the same
+        ``_cancelled_pending`` bookkeeping as :meth:`run`, so mixing
+        ``step()`` and ``run()`` keeps :attr:`pending_events` exact.
+        """
+        queue = self._queue
+        while queue:
+            entry = _heappop(queue)
+            callback = entry[3]
+            if callback is None:
                 self._cancelled_pending -= 1
                 continue
-            self._now = event.time
-            event.done = True
-            event.callback(*event.args)
+            self._now = entry[0]
+            entry[3] = _DONE
+            callback(*entry[4])
             self._events_processed += 1
             return True
         return False

@@ -34,7 +34,7 @@ from ..core.backup_routes import (
 from ..net.fib import LOCAL, FibEntry
 from ..net.ip import IPv4Address, Prefix
 from ..routing.lsdb import Lsa, Lsdb
-from ..routing.spf import compute_routes
+from ..routing.spf_cache import compute_routes_cached
 from ..topology.addressing import assign_addresses
 from ..topology.graph import Link, NodeKind, Topology, TopologyError
 
@@ -160,7 +160,10 @@ class StaticNetworkModel:
                 entries.append(
                     FibEntry(node.subnet, (LOCAL,), source="connected")
                 )
-            routed = compute_routes(name, lsdb)
+            # memoized: two StaticNetworkModels over the same topology
+            # (e.g. repeated verifier invocations, mutant baselines)
+            # share one oracle run per switch
+            routed = compute_routes_cached(name, lsdb)
             entries.extend(
                 FibEntry(prefix, hops, source="linkstate")
                 for prefix, hops in sorted(

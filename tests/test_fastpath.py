@@ -1,0 +1,254 @@
+"""Differential validation of the hot-path caches.
+
+The data-plane caches (FIB match chains keyed on :attr:`Fib.generation`,
+resolve/liveness caches keyed on the adjacency epoch) and the memoized
+SPF oracle are pure speedups: every cached answer must equal what the
+uncached code computes.  This file pins that equivalence three ways:
+
+1. **FIB chains** — for arbitrary install/withdraw churn,
+   :meth:`Fib.chain` equals a fresh :meth:`Fib.matches` trie walk for
+   every probe address (hypothesis).
+2. **Per-packet resolution** — on a converged F²Tree under arbitrary
+   frozen-dataplane link flaps, :meth:`SwitchNode._resolve_indexed`
+   equals an uncached reference that rebuilds the chain and the
+   liveness sets per packet (hypothesis).
+3. **Whole-system traces** — a full recovery check trial executed with
+   *every* cache monkeypatched away produces a byte-identical event
+   trace, identical stats, and identical violations.  This is the
+   strongest form of the claim: no observable behaviour depends on any
+   cache being populated.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.f2tree import f2tree
+from repro.experiments.common import build_bundle
+from repro.net.ecmp import select_next_hop
+from repro.net.fib import Fib, FibEntry, LOCAL
+from repro.net.ip import IPv4Address, Prefix
+from repro.net.packet import PROTO_UDP, Packet
+from repro.topology.graph import NodeKind
+
+# ----------------------------------------------------- 1. FIB match chains
+
+#: a small prefix universe so install/withdraw sequences collide often
+#: (withdrawing absent prefixes and re-installing present ones are the
+#: interesting cache-invalidation cases)
+_BASES = (0x0A000000, 0x0A010000, 0x0A018000, 0x0AFF0000)
+_LENGTHS = (8, 15, 16, 24, 32)
+_PREFIXES = sorted(
+    {Prefix(base & (0xFFFFFFFF << (32 - length)), length)
+     for base in _BASES for length in _LENGTHS},
+)
+
+_prefix = st.sampled_from(_PREFIXES)
+_op = st.one_of(
+    st.tuples(st.just("install"), _prefix, st.integers(1, 3)),
+    st.tuples(st.just("withdraw"), _prefix),
+)
+
+
+def _probes():
+    """Addresses that hit every chain shape the universe can produce."""
+    probes = []
+    for prefix in _PREFIXES:
+        probes.append(prefix.address(min(1, prefix.num_addresses - 1)))
+        probes.append(prefix.address(max(0, prefix.num_addresses - 2)))
+    probes.append(IPv4Address(0xC0A80001))  # matches nothing
+    return probes
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(_op, max_size=40))
+def test_cached_chain_equals_uncached_trie_walk(ops):
+    fib = Fib()
+    probes = _probes()
+    for op in ops:
+        if op[0] == "install":
+            _, prefix, hops = op
+            fib.install(FibEntry(
+                prefix, tuple(f"nh{i}" for i in range(hops)), source="test"
+            ))
+        else:
+            fib.withdraw(op[1])
+        # interleaved probing exercises generation-based invalidation:
+        # every mutation must be visible through the cache immediately
+        for address in probes:
+            assert fib.chain(address) == tuple(fib.matches(address))
+    for address in probes:
+        chain = fib.chain(address)
+        assert chain == tuple(fib.matches(address))
+        expected = chain[0] if chain else None
+        assert fib.lookup(address) == expected
+
+
+# ------------------------------------------- 2. per-packet resolve (frozen)
+
+_ENV: dict = {}
+
+
+def _environment():
+    """One converged 8-port F²Tree shared by every example (teardown in
+    each example restores all links, keeping examples independent)."""
+    if _ENV:
+        return _ENV
+    topo = f2tree(8, hosts_per_tor=1)
+    bundle = build_bundle(topo)
+    bundle.converge()
+    pairs = sorted({
+        link.key
+        for link in topo.links.values()
+        if topo.node(link.a).kind != NodeKind.HOST
+        and topo.node(link.b).kind != NodeKind.HOST
+    })
+    switches = sorted(s.name for s in bundle.network.switches())
+    tors = [t for t in topo.tors() if t.subnet is not None]
+    src_ip = bundle.network.host(
+        next(n.name for n in topo.nodes.values() if n.kind == NodeKind.HOST)
+    ).ip
+    _ENV.update(
+        topo=topo, bundle=bundle, pairs=pairs, switches=switches,
+        tors=tors, src_ip=src_ip,
+    )
+    return _ENV
+
+
+def _flip(network, a: str, b: str, up: bool) -> None:
+    for link in network.links_between(a, b):
+        link.channel_ab.set_up(up)
+        link.channel_ba.set_up(up)
+        link.force_detection(up)
+
+
+def _uncached_resolve(switch, packet):
+    """Reference per-packet resolution: fresh trie walk, fresh liveness
+    lists, no memoization anywhere."""
+    name = switch.name
+    depth = 0
+    for entry in switch.fib.matches(packet.dst):
+        live = [
+            nh for nh in entry.next_hops
+            if nh == LOCAL or any(
+                link.detected_up_by(name)
+                for link in switch.links_by_peer.get(nh, ())
+            )
+        ]
+        if live:
+            return entry, select_next_hop(live, packet.flow_key, switch.salt), depth
+        depth += 1
+    return None, None, depth
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_cached_resolve_equals_uncached_reference(data):
+    env = _environment()
+    network = env["bundle"].network
+    failed = data.draw(
+        st.sets(st.sampled_from(env["pairs"]), max_size=5), label="failed links"
+    )
+    names = data.draw(
+        st.lists(st.sampled_from(env["switches"]), min_size=1, max_size=4,
+                 unique=True),
+        label="switches probed",
+    )
+    flows = data.draw(
+        st.lists(st.tuples(st.integers(1024, 65535), st.integers(1024, 65535)),
+                 min_size=1, max_size=4),
+        label="flow ports",
+    )
+    try:
+        for a, b in failed:
+            _flip(network, a, b, up=False)
+        for name in names:
+            switch = network.switch(name)
+            for tor in env["tors"]:
+                for sport, dport in flows:
+                    packet = Packet(
+                        src=env["src_ip"], dst=tor.subnet.address(2),
+                        protocol=PROTO_UDP, size_bytes=1500,
+                        sport=sport, dport=dport,
+                    )
+                    assert switch._resolve_indexed(packet) == \
+                        _uncached_resolve(switch, packet), (name, sorted(failed))
+    finally:
+        for a, b in failed:
+            _flip(network, a, b, up=True)
+
+
+# --------------------------------------- 3. whole-system trace byte-identity
+
+
+def _disable_all_caches(monkeypatch):
+    """Monkeypatch every hot-path cache back to its uncached reference."""
+    from repro.dataplane.node import NetworkNode, SwitchNode
+    from repro.routing.spf import compute_routes
+    import repro.check.invariants
+    import repro.routing.linkstate
+
+    monkeypatch.setattr(
+        Fib, "chain", lambda self, address: tuple(self.matches(address))
+    )
+
+    def neighbor_alive(self, peer):
+        name = self.name
+        return any(
+            link.detected_up_by(name)
+            for link in self.links_by_peer.get(peer, ())
+        )
+
+    def live_links_to(self, peer):
+        name = self.name
+        return [
+            link for link in self.links_by_peer.get(peer, ())
+            if link.detected_up_by(name)
+        ]
+
+    def resolve_indexed(self, packet):
+        entry, live, depth = self._resolve_walk(packet.dst)
+        if entry is None:
+            return None, None, depth
+        return entry, select_next_hop(live, packet.flow_key, self.salt), depth
+
+    monkeypatch.setattr(NetworkNode, "neighbor_alive", neighbor_alive)
+    monkeypatch.setattr(NetworkNode, "live_links_to", live_links_to)
+    monkeypatch.setattr(SwitchNode, "_resolve_indexed", resolve_indexed)
+    monkeypatch.setattr(
+        repro.routing.linkstate, "compute_routes_cached", compute_routes
+    )
+    monkeypatch.setattr(
+        repro.check.invariants, "compute_routes_cached", compute_routes
+    )
+
+
+def test_recovery_trace_identical_with_caches_disabled(monkeypatch):
+    """A full recovery trial (converge, fail links on the best path, fast
+    reroute, reconverge) must emit the byte-identical obs trace whether
+    every cache is live or every cache is bypassed."""
+    from repro.check.config import TrialConfig, fast_overrides
+    from repro.check.execute import execute_check
+    from repro.sim.units import milliseconds
+
+    config = TrialConfig(
+        "f2tree", 6, profile="scenario", scenario="C3",
+        overrides=fast_overrides(), warmup=milliseconds(500),
+    )
+    cached = execute_check(config, traced=True)
+
+    with monkeypatch.context() as patches:
+        _disable_all_caches(patches)
+        uncached = execute_check(config, traced=True)
+
+    assert cached.violations == uncached.violations == []
+    assert cached.stats == uncached.stats
+    blob_cached = json.dumps(cached.trace, sort_keys=True)
+    blob_uncached = json.dumps(uncached.trace, sort_keys=True)
+    assert blob_cached == blob_uncached

@@ -32,6 +32,20 @@ class TestRules:
     def test_simulated_clock_is_fine(self):
         assert rules("now = sim.now\nt = time.monotonic()\n") == []
 
+    def test_perf_counter_flagged_outside_bench(self):
+        src = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.perf_counter_ns()\n"
+        )
+        assert rules(src) == ["perf-counter"] * 2
+
+    def test_perf_counter_allowed_in_bench_harness(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert rules(src, "src/repro/bench.py") == []
+        assert rules(src, "benchmarks/test_bench_hotpath.py") == []
+        assert rules(src, "src/repro/sim/engine.py") == ["perf-counter"]
+
     def test_module_random_flagged(self):
         src = "import random\nx = random.random()\ny = random.choice(xs)\n"
         assert rules(src) == ["module-random"] * 2

@@ -62,16 +62,9 @@ def _force_detection(network, a: str, b: str, up: bool) -> None:
     """Flip link state and detector belief synchronously (no sim events
     are executed, so FIBs stay frozen at the converged state)."""
     for link in network.links_between(a, b):
-        if up:
-            link.channel_ab.set_up(True)
-            link.channel_ba.set_up(True)
-        else:
-            link.channel_ab.set_up(False)
-            link.channel_ba.set_up(False)
-        for detector in link._detectors.values():
-            detector._timer.cancel()
-            detector._pending = None
-            detector.detected_up = up
+        link.channel_ab.set_up(up)
+        link.channel_ba.set_up(up)
+        link.force_detection(up)
 
 
 @settings(

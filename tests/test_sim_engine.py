@@ -259,6 +259,28 @@ class TestHeapCompaction:
             (i for i in range(120) if i % 2), key=lambda i: 1000 - i
         )
 
+    def test_mid_run_compaction_does_not_lose_events(self):
+        """Compaction triggered from inside a callback must mutate the
+        queue in place: ``run()`` holds the queue in a local, so swapping
+        the list object out mid-run would silently drop every event
+        scheduled after the swap."""
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(1000 + i, lambda: None) for i in range(100)]
+
+        def churn():
+            # cancelling >half the (>=64 entry) queue triggers compaction
+            for handle in handles[:80]:
+                handle.cancel()
+            sim.schedule(10, fired.append, "after-compaction")
+
+        sim.schedule(1, churn)
+        sim.run()
+        assert "after-compaction" in fired
+        assert sim.pending_events == 0
+        assert sim._cancelled_pending == 0
+        assert sim.events_processed == 22  # churn + late event + 20 alive
+
     def test_timer_churn_keeps_queue_bounded(self):
         sim = Simulator()
         timer = Timer(sim, lambda: None)
@@ -266,6 +288,126 @@ class TestHeapCompaction:
             timer.start(SECOND)  # each restart cancels the previous event
         assert len(sim._queue) < 200
         assert sim.pending_events == 1
+
+
+class TestCancelledHeadUntil:
+    """Interaction of cancelled events with the ``until`` boundary: the
+    run loops peek the head before checking the boundary, so a cancelled
+    entry sitting at or past ``until`` must be drained (or left) without
+    ever moving the clock to its timestamp."""
+
+    def test_cancelled_head_past_until_does_not_advance_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "early")
+        handle = sim.schedule(50, seen.append, "cancelled")
+        handle.cancel()
+        sim.schedule(200, seen.append, "late")
+        sim.run(until=100)
+        assert seen == ["early"]
+        assert sim.now == 100
+        assert sim.pending_events == 1  # only "late" remains live
+
+    def test_cancelled_head_before_until_is_drained(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, seen.append, "cancelled")
+        handle.cancel()
+        sim.schedule(20, seen.append, "live")
+        sim.run(until=100)
+        assert seen == ["live"]
+        assert sim.now == 100
+        assert sim.pending_events == 0
+
+    def test_cancelled_head_exactly_at_until(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(100, seen.append, "cancelled-at-boundary")
+        handle.cancel()
+        sim.schedule(100, seen.append, "live-at-boundary")
+        sim.run(until=100)
+        # boundary events never run; the cancelled one must not trick the
+        # loop into running (or skipping past) the live one
+        assert seen == []
+        assert sim.now == 100
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == ["live-at-boundary"]
+
+    def test_cancelled_bookkeeping_consistent_across_until_runs(self):
+        sim = Simulator()
+        handles = [sim.schedule(i * 10, lambda: None) for i in range(1, 9)]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run(until=45)  # drains events at 10..40 (two cancelled)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 4
+
+    def test_until_with_obs_enabled_counts_cancelled_skips(self):
+        from repro.obs import Observability
+
+        sim = Simulator(obs=Observability(enabled=True))
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.schedule(20, lambda: None)
+        sim.schedule(200, lambda: None)
+        sim.run(until=100)
+        assert sim.obs.metrics.counter("sim.cancelled_skipped").value == 1
+        assert sim.obs.metrics.counter("sim.events_executed").value == 1
+        assert sim.now == 100
+
+
+class TestStepCancelledBookkeeping:
+    """``step()`` must keep ``_cancelled_pending`` exact so that mixing
+    ``step()`` with ``run()``/compaction never corrupts
+    :attr:`Simulator.pending_events`."""
+
+    def test_step_drains_cancelled_entries(self):
+        sim = Simulator()
+        seen = []
+        first = sim.schedule(1, seen.append, "a")
+        second = sim.schedule(2, seen.append, "b")
+        sim.schedule(3, seen.append, "c")
+        first.cancel()
+        second.cancel()
+        assert sim.pending_events == 1
+        assert sim.step()  # skips two cancelled entries, runs "c"
+        assert seen == ["c"]
+        assert sim.now == 3
+        assert sim.pending_events == 0
+        assert sim._cancelled_pending == 0
+
+    def test_step_then_run_keeps_counts_exact(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(6)]
+        handles[0].cancel()
+        handles[2].cancel()
+        assert sim.step()  # drains cancelled head, runs event at t=2
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 4
+
+    def test_step_on_all_cancelled_queue_returns_false(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+        for handle in handles:
+            handle.cancel()
+        assert not sim.step()
+        assert sim.pending_events == 0
+        assert sim._cancelled_pending == 0
+        assert sim.events_processed == 0
+
+    def test_step_marks_event_done_for_handle_cancel(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1, seen.append, "x")
+        assert sim.step()
+        handle.cancel()  # no-op: already executed via step()
+        assert seen == ["x"]
+        assert sim.pending_events == 0
 
 
 class TestRunUntil:

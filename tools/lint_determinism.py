@@ -9,6 +9,10 @@ gate.  Under ``src/repro/`` it forbids:
 * wall-clock reads: ``time.time()``, ``time.time_ns()``,
   ``datetime.now()``, ``datetime.utcnow()``, ``datetime.today()``,
   ``date.today()`` — simulated time comes from ``Simulator.now``;
+* high-resolution timing: ``time.perf_counter()`` /
+  ``time.perf_counter_ns()`` — model code must never branch on how long
+  something took to compute; only the benchmark harness
+  (``benchmarks/`` and ``repro/bench.py``) may stopwatch itself;
 * module-level randomness: any call through the ``random`` module
   (``random.random()``, ``random.choice()``, ...) except constructing a
   seeded ``random.Random``/``random.SystemRandom`` instance — draws come
@@ -41,12 +45,28 @@ WALL_CLOCK_CALLS = {
     "date.today",
 }
 
+#: dotted-call suffixes that stopwatch elapsed wall time.  Allowed only
+#: in the benchmark harness — ``time.monotonic`` is deliberately *not*
+#: here (the campaign runner and CLI use it for operator-facing timeout
+#: bookkeeping that never feeds back into simulated behaviour).
+PERF_COUNTER_CALLS = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
 #: attributes of the ``random`` module that are fine to call (seeded or
 #: explicitly operator-facing RNG construction)
 RANDOM_ALLOWED = {"Random", "SystemRandom"}
 
 #: path suffixes exempt from the module-level-randomness rule
 ALLOWLIST_SUFFIXES = ("sim/randomness.py",)
+
+#: path suffixes where the perf-counter rule does not apply (the
+#: benchmark harness is the one place allowed to time itself)
+PERF_ALLOWLIST_SUFFIXES = ("repro/bench.py",)
+
+#: path components that mark a whole directory as benchmark code
+PERF_ALLOWLIST_DIRS = ("benchmarks",)
 
 
 @dataclass(frozen=True)
@@ -85,9 +105,12 @@ def _is_bare_set(node: ast.AST) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, allow_random: bool) -> None:
+    def __init__(
+        self, path: str, allow_random: bool, allow_perf: bool = False
+    ) -> None:
         self.path = path
         self.allow_random = allow_random
+        self.allow_perf = allow_perf
         self.findings: List[LintFinding] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
@@ -105,6 +128,16 @@ class _Visitor(ast.NodeVisitor):
                     f"clock (Simulator.now)",
                 )
                 break
+        if not self.allow_perf:
+            for suffix in PERF_COUNTER_CALLS:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    self._add(
+                        node, "perf-counter",
+                        f"{dotted}() stopwatches wall time; only the "
+                        f"benchmark harness (benchmarks/, repro/bench.py) "
+                        f"may time itself",
+                    )
+                    break
         if not self.allow_random:
             func = node.func
             if (
@@ -150,9 +183,13 @@ class _Visitor(ast.NodeVisitor):
 def lint_source(source: str, path: str) -> List[LintFinding]:
     """Lint one module's source text; ``path`` labels the findings and
     drives the allowlist."""
-    allow_random = str(path).replace("\\", "/").endswith(ALLOWLIST_SUFFIXES)
+    normalized = str(path).replace("\\", "/")
+    allow_random = normalized.endswith(ALLOWLIST_SUFFIXES)
+    allow_perf = normalized.endswith(PERF_ALLOWLIST_SUFFIXES) or any(
+        part in PERF_ALLOWLIST_DIRS for part in normalized.split("/")
+    )
     tree = ast.parse(source, filename=str(path))
-    visitor = _Visitor(str(path), allow_random)
+    visitor = _Visitor(str(path), allow_random, allow_perf)
     visitor.visit(tree)
     return visitor.findings
 
