@@ -44,6 +44,16 @@ BENCH_FILENAME = "BENCH_hotpath.json"
 GATED_SECTIONS = ("event_loop", "forwarding", "spf")
 
 
+def _hit_rate_dict(hits: int, misses: int) -> Dict[str, Any]:
+    """Counter pair + derived hit rate, as reports render it."""
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
 def _best_of(repeats: int, fn: Callable[[], Tuple[float, int]]) -> Tuple[float, int]:
     """Run ``fn`` ``repeats`` times; keep the fastest (elapsed, work)."""
     best: Optional[Tuple[float, int]] = None
@@ -261,6 +271,7 @@ def bench_forwarding(packets: int, repeats: int) -> Dict[str, Any]:
     fast_s, fast_n = _best_of(repeats, optimized)
     slow_s, slow_n = _best_of(repeats, naive)
     assert fast_n == slow_n == packets
+    fib = switch.fib
     return {
         "packets": packets,
         "optimized_s": round(fast_s, 6),
@@ -268,6 +279,9 @@ def bench_forwarding(packets: int, repeats: int) -> Dict[str, Any]:
         "optimized_pps": round(packets / fast_s),
         "naive_pps": round(packets / slow_s),
         "ratio": round(slow_s / fast_s, 2),
+        # lifetime match-chain cache counters over the whole section
+        # (convergence warm-up + every timed pass)
+        "cache": _hit_rate_dict(fib.chain_hits, fib.chain_misses),
     }
 
 
@@ -339,6 +353,13 @@ def bench_spf(rounds: int, repeats: int) -> Dict[str, Any]:
     fast_s, fast_n = _best_of(repeats, optimized)
     slow_s, slow_n = _best_of(repeats, naive)
     assert fast_n == slow_n == tables
+    # physical cache counters, measured on a dedicated pass of the same
+    # workload (the timed passes each use a throwaway cache)
+    stats_cache = SpfCache()
+    for seq in range(1, rounds + 1):
+        lsdb = build_lsdb(seq)
+        for name in switches:
+            stats_cache.compute(name, lsdb)
     return {
         "rounds": rounds,
         "switches": len(switches),
@@ -348,6 +369,7 @@ def bench_spf(rounds: int, repeats: int) -> Dict[str, Any]:
         "optimized_sps": round(tables / fast_s),
         "naive_sps": round(tables / slow_s),
         "ratio": round(slow_s / fast_s, 2),
+        "cache": _hit_rate_dict(stats_cache.hits, stats_cache.misses),
     }
 
 
@@ -466,6 +488,15 @@ def render(result: Dict[str, Any]) -> str:
         f"  SPF oracle: {spf['optimized_sps']:>10,} tables/s "
         f"(naive {spf['naive_sps']:,}/s) -> {spf['ratio']:.1f}x"
     )
+    spf_cache = spf.get("cache")
+    fw_cache = fw.get("cache")
+    if spf_cache and fw_cache:
+        lines.append(
+            f"  caches:     SPF {spf_cache['hit_rate']:.1%} hit rate "
+            f"({spf_cache['hits']:,}/{spf_cache['hits'] + spf_cache['misses']:,}), "
+            f"FIB chain {fw_cache['hit_rate']:.1%} "
+            f"({fw_cache['hits']:,}/{fw_cache['hits'] + fw_cache['misses']:,})"
+        )
     camp = result.get("campaign")
     if camp:
         lines.append(

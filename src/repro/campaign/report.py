@@ -35,6 +35,8 @@ class TrialRecord:
     traceback: Optional[str] = None
     #: snapshot of the trial's metrics registry (deterministic)
     metrics: Optional[Dict[str, Any]] = None
+    #: serialised causal span tree (telemetry campaigns; deterministic)
+    spans: Optional[Dict[str, Any]] = None
     #: wall-clock seconds of the last attempt (nondeterministic)
     duration_s: float = 0.0
 
@@ -44,7 +46,7 @@ class TrialRecord:
 
     def to_dict(self) -> Dict[str, Any]:
         """The deterministic per-trial report entry."""
-        return {
+        out: Dict[str, Any] = {
             "id": self.spec.trial_id,
             "kind": self.spec.kind,
             "params": self.spec.param_dict(),
@@ -55,6 +57,9 @@ class TrialRecord:
             "error": self.error,
             "metrics": self.metrics,
         }
+        if self.spans is not None:
+            out["spans"] = self.spans
+        return out
 
 
 @dataclass
@@ -116,6 +121,14 @@ class CampaignReport:
             )
         return self
 
+    def telemetry(self) -> Optional[Dict[str, Any]]:
+        """The merged campaign-wide telemetry (phase percentiles per grid
+        cell + cache hit rates); ``None`` unless the campaign ran in
+        telemetry mode.  Deterministic for any worker count."""
+        from .telemetry import merge_telemetry
+
+        return merge_telemetry(self.records)
+
     # ------------------------------------------------------- serialization
 
     def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
@@ -133,6 +146,9 @@ class CampaignReport:
             },
             "trials": [r.to_dict() for r in self.records],
         }
+        merged = self.telemetry()
+        if merged is not None:
+            out["telemetry"] = merged
         if include_timing:
             out["execution"] = {
                 "workers": self.workers,
@@ -175,6 +191,12 @@ class CampaignReport:
                 f"{r.spec.trial_id:<58} {r.status:<8} {r.attempts:>3} "
                 f"{r.duration_s:>7.2f}  {detail}"
             )
+        merged = self.telemetry()
+        if merged is not None:
+            from .telemetry import render_telemetry
+
+            lines.append("")
+            lines.append(render_telemetry(merged))
         return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..obs import Observability
+from ..obs.spans import SpanError, build_recovery_spans, counters_from_metrics
 from ..sim.randomness import RandomStreams
 from .report import (
     STATUS_FAILED,
@@ -56,6 +57,8 @@ class TrialOutcome:
     error: Optional[str] = None
     traceback: Optional[str] = None
     metrics: Optional[dict] = None
+    #: serialised span tree (telemetry mode; a plain dict so it pickles)
+    spans: Optional[dict] = None
     duration_s: float = 0.0
 
 
@@ -89,13 +92,33 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
+def _trial_spans(ctx: TrialContext) -> Optional[dict]:
+    """Build the trial's span tree from its recorded trace (telemetry
+    mode only); ``None`` when the trace is empty or spanless."""
+    if not len(ctx.obs.trace):
+        return None
+    try:
+        tree = build_recovery_spans(
+            ctx.obs.trace,
+            counters=counters_from_metrics(ctx.obs.metrics.snapshot()),
+            evicted=ctx.obs.trace.evicted,
+        )
+    except SpanError:
+        return None
+    return tree.to_dict()
+
+
 def execute_trial(
-    spec: TrialSpec, default_timeout: Optional[float] = None
+    spec: TrialSpec,
+    default_timeout: Optional[float] = None,
+    telemetry: bool = False,
 ) -> TrialOutcome:
     """Run one trial to completion in the current process.
 
     Never raises: failures and timeouts come back as outcomes, so a bad
     trial cannot take the campaign (or a pooled worker) down with it.
+    ``telemetry`` runs the trial with tracing enabled and attaches the
+    resulting causal span tree to the outcome (slower; opt-in).
     """
     started = time.monotonic()
     timeout = spec.timeout if spec.timeout is not None else default_timeout
@@ -109,7 +132,7 @@ def execute_trial(
         ctx = TrialContext(
             seed=spec.seed,
             streams=RandomStreams(spec.seed),
-            obs=Observability(enabled=False),
+            obs=Observability(enabled=telemetry),
         )
         with _deadline(timeout):
             payload = dict(runner(ctx, **spec.param_dict()))
@@ -118,6 +141,7 @@ def execute_trial(
             status=STATUS_OK,
             payload=payload,
             metrics=ctx.obs.metrics.snapshot() or None,
+            spans=_trial_spans(ctx) if telemetry else None,
             duration_s=time.monotonic() - started,
         )
     except TrialTimeout as exc:
@@ -140,7 +164,9 @@ def execute_trial(
 
 
 def execute_trials(
-    specs: Sequence[TrialSpec], default_timeout: Optional[float] = None
+    specs: Sequence[TrialSpec],
+    default_timeout: Optional[float] = None,
+    telemetry: bool = False,
 ) -> List[TrialOutcome]:
     """Run a chunk of trials in the current process.
 
@@ -148,7 +174,9 @@ def execute_trials(
     IPC round trip per *chunk* instead of per trial, which is where
     small grids were losing their parallelism to pool overhead.
     """
-    return [execute_trial(spec, default_timeout) for spec in specs]
+    return [
+        execute_trial(spec, default_timeout, telemetry) for spec in specs
+    ]
 
 
 def _warm_worker() -> None:
@@ -165,6 +193,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = DEFAULT_RETRIES,
     campaign_seed: int = 1,
+    telemetry: bool = False,
 ) -> CampaignReport:
     """Execute every spec and aggregate the outcomes into a report.
 
@@ -173,6 +202,9 @@ def run_campaign(
     (individual specs may override).  Specs with ``seed=None`` get a
     deterministic per-trial seed derived from ``campaign_seed`` before any
     execution, so the results are independent of worker count.
+    ``telemetry`` traces every trial and ships its causal span tree back
+    with the outcome; the report then carries a merged telemetry section
+    (still byte-identical for any worker count).
     """
     resolved = resolve_seeds(specs, campaign_seed)
     seen: Dict[str, TrialSpec] = {}
@@ -183,9 +215,9 @@ def run_campaign(
 
     started = time.monotonic()
     if workers <= 1:
-        records = _run_serial(resolved, timeout, retries)
+        records = _run_serial(resolved, timeout, retries, telemetry)
     else:
-        records = _run_parallel(resolved, workers, timeout, retries)
+        records = _run_parallel(resolved, workers, timeout, retries, telemetry)
     return CampaignReport(
         name=name,
         records=records,
@@ -203,19 +235,23 @@ def _record(spec: TrialSpec, outcome: TrialOutcome, attempts: int) -> TrialRecor
         error=outcome.error,
         traceback=outcome.traceback,
         metrics=outcome.metrics,
+        spans=outcome.spans,
         duration_s=outcome.duration_s,
     )
 
 
 def _run_serial(
-    specs: Sequence[TrialSpec], timeout: Optional[float], retries: int
+    specs: Sequence[TrialSpec],
+    timeout: Optional[float],
+    retries: int,
+    telemetry: bool = False,
 ) -> List[TrialRecord]:
     records: List[TrialRecord] = []
     for spec in specs:
         attempts = 0
         while True:
             attempts += 1
-            outcome = execute_trial(spec, timeout)
+            outcome = execute_trial(spec, timeout, telemetry)
             if outcome.status == STATUS_FAILED and attempts <= retries:
                 continue
             records.append(_record(spec, outcome, attempts))
@@ -234,6 +270,7 @@ def _run_parallel(
     workers: int,
     timeout: Optional[float],
     retries: int,
+    telemetry: bool = False,
 ) -> List[TrialRecord]:
     records: List[TrialRecord] = []
     attempts: Dict[str, int] = {spec.trial_id: 0 for spec in specs}
@@ -252,7 +289,7 @@ def _run_parallel(
             max_workers=workers, initializer=_warm_worker
         ) as pool:
             futures = {
-                pool.submit(execute_trials, chunk, timeout): chunk
+                pool.submit(execute_trials, chunk, timeout, telemetry): chunk
                 for chunk in chunks
             }
             for future in as_completed(futures):

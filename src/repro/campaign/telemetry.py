@@ -1,0 +1,176 @@
+"""Campaign-level telemetry: merge per-trial span trees deterministically.
+
+Workers ship each trial's span tree (already a JSON-safe dict) and its
+metrics snapshot back over the existing result channel; this module
+folds them into a campaign-wide report:
+
+* **per grid cell** (the trial id minus its seed suffix — every seed
+  repetition of one parameter combination lands in the same cell):
+  p50/p95/p99 of each recovery phase's duration, plus mechanism counts;
+* **cache hit-rate table**: logical SPF-cache and FIB match-chain
+  counters summed per cell and overall.
+
+Determinism is the whole point: the merge folds records in sorted
+trial-id order, uses nearest-rank percentiles over integer-nanosecond
+durations, and rounds hit rates to fixed precision — so ``--workers 1``
+and ``--workers 8`` produce byte-identical telemetry sections (the
+per-trial inputs are themselves deterministic; see
+:class:`repro.routing.spf_cache.SpfCacheStats` for why the cache
+counters are logical rather than physical).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs.spans import SpanTree
+from .report import TrialRecord
+from .spec import TrialSpec
+
+#: percentiles reported per phase per cell
+QUANTILES: Tuple[int, ...] = (50, 95, 99)
+
+#: metric names folded into the cache hit-rate table, keyed by row name
+CACHE_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("spf_cache", "spf.cache.hits", "spf.cache.misses"),
+    ("fib_chain", "fib.chain.hits", "fib.chain.misses"),
+)
+
+
+def cell_key(spec: TrialSpec) -> str:
+    """The grid cell a trial belongs to: its identity minus the seed."""
+    params = ",".join(f"{k}={v}" for k, v in spec.params)
+    return f"{spec.kind}[{params}]"
+
+
+def percentile(sorted_values: Sequence[int], q: int) -> int:
+    """Nearest-rank percentile of an ascending sequence (exact, no
+    interpolation — keeps the merge integer-only and bit-stable)."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 < q <= 100:
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    rank = -(-q * len(sorted_values) // 100)  # ceil without floats
+    return sorted_values[rank - 1]
+
+
+def _hit_rate(hits: int, misses: int) -> Dict[str, Any]:
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
+def merge_telemetry(
+    records: Iterable[TrialRecord],
+) -> Optional[Dict[str, Any]]:
+    """Fold per-trial span trees + metric snapshots into one report.
+
+    Returns ``None`` when no record carries a span tree (the campaign was
+    not run in telemetry mode); otherwise a JSON-safe dict, a pure
+    function of the records and therefore byte-identical for any worker
+    count.
+    """
+    ordered = sorted(records, key=lambda r: r.spec.trial_id)
+    any_spans = False
+
+    phases: Dict[str, Dict[str, List[int]]] = {}
+    mechanisms: Dict[str, Dict[str, int]] = {}
+    trials_per_cell: Dict[str, int] = {}
+    cache_totals: Dict[str, List[int]] = {
+        name: [0, 0] for name, _h, _m in CACHE_METRICS
+    }
+    cache_per_cell: Dict[str, Dict[str, List[int]]] = {}
+
+    for record in ordered:
+        cell = cell_key(record.spec)
+        if record.metrics:
+            per_cell = cache_per_cell.setdefault(
+                cell, {name: [0, 0] for name, _h, _m in CACHE_METRICS}
+            )
+            for name, hits_metric, misses_metric in CACHE_METRICS:
+                hits = int(record.metrics.get(hits_metric, 0) or 0)
+                misses = int(record.metrics.get(misses_metric, 0) or 0)
+                per_cell[name][0] += hits
+                per_cell[name][1] += misses
+                cache_totals[name][0] += hits
+                cache_totals[name][1] += misses
+        if record.spans is None:
+            continue
+        any_spans = True
+        tree = SpanTree.from_dict(record.spans)
+        trials_per_cell[cell] = trials_per_cell.get(cell, 0) + 1
+        mechanism = str(tree.root.attrs.get("mechanism", "unknown"))
+        cell_mechanisms = mechanisms.setdefault(cell, {})
+        cell_mechanisms[mechanism] = cell_mechanisms.get(mechanism, 0) + 1
+        cell_phases = phases.setdefault(cell, {})
+        for name, duration in tree.phase_durations().items():
+            cell_phases.setdefault(name, []).append(duration)
+
+    if not any_spans:
+        return None
+
+    cells: Dict[str, Any] = {}
+    for cell in sorted(trials_per_cell):
+        phase_summary: Dict[str, Any] = {}
+        for name in sorted(phases.get(cell, {})):
+            durations = sorted(phases[cell][name])
+            phase_summary[name] = {
+                "n": len(durations),
+                **{
+                    f"p{q}_ns": percentile(durations, q) for q in QUANTILES
+                },
+            }
+        entry: Dict[str, Any] = {
+            "trials": trials_per_cell[cell],
+            "mechanisms": dict(sorted(mechanisms.get(cell, {}).items())),
+            "phases": phase_summary,
+        }
+        cell_caches = cache_per_cell.get(cell)
+        if cell_caches is not None:
+            entry["caches"] = {
+                name: _hit_rate(*cell_caches[name])
+                for name, _h, _m in CACHE_METRICS
+            }
+        cells[cell] = entry
+
+    return {
+        "cells": cells,
+        "caches": {
+            name: _hit_rate(*cache_totals[name])
+            for name, _h, _m in CACHE_METRICS
+        },
+    }
+
+
+def render_telemetry(telemetry: Dict[str, Any]) -> str:
+    """ASCII tables: per-cell phase percentiles + cache hit rates."""
+    lines: List[str] = ["telemetry (per-phase percentiles, ms):"]
+    header = (
+        f"  {'cell / phase':<46} {'n':>4} "
+        + " ".join(f"{'p' + str(q):>9}" for q in QUANTILES)
+    )
+    lines.append(header)
+    for cell, entry in telemetry.get("cells", {}).items():
+        mech = ", ".join(
+            f"{name} x{count}"
+            for name, count in entry.get("mechanisms", {}).items()
+        )
+        lines.append(f"  {cell}  ({entry['trials']} trial(s); {mech})")
+        for phase, stats in entry.get("phases", {}).items():
+            row = " ".join(
+                f"{stats[f'p{q}_ns'] / 1e6:>9.3f}" for q in QUANTILES
+            )
+            lines.append(f"    {phase:<44} {stats['n']:>4} {row}")
+    caches = telemetry.get("caches", {})
+    if caches:
+        lines.append("  cache hit rates:")
+        for name, stats in caches.items():
+            total = stats["hits"] + stats["misses"]
+            lines.append(
+                f"    {name:<12} {stats['hit_rate']:>8.1%} "
+                f"({stats['hits']:,} of {total:,})"
+            )
+    return "\n".join(lines)

@@ -223,6 +223,16 @@ def run_check_trial(
         raise CampaignError(f"unknown check trial parameters: {sorted(params)}")
     config = generate_config(ctx.seed)
     outcome = execute_check(config)
+    # the check runs in its own simulator (its own obs facade); copy the
+    # deterministic cache counters over so campaign cache hit-rate tables
+    # cover check trials too
+    caches = outcome.stats.get("caches", {})
+    for table, metric in (("spf_cache", "spf.cache"), ("fib_chain", "fib.chain")):
+        counts = caches.get(table, {})
+        for side in ("hits", "misses"):
+            value = int(counts.get(side, 0))
+            if value:
+                ctx.obs.metrics.counter(f"{metric}.{side}").inc(value)
     return {
         "index": index,
         "topology": config.topology,

@@ -24,9 +24,29 @@ from .invariants import canonical_violations
 
 BUNDLE_VERSION = 1
 
+#: flight-recorder depth: the last N trace events embedded alongside the
+#: full trace so a refutation's immediate run-up is readable at a glance
+FLIGHT_RING_EVENTS = 512
+
 
 class BundleError(RuntimeError):
     """A bundle that cannot be written or does not reproduce."""
+
+
+def flight_dict(outcome: CheckOutcome) -> Dict[str, Any]:
+    """The flight-recorder section: last-N event ring + full span tree.
+
+    ``ring`` is the tail of the traced run's event stream (bounded by
+    :data:`FLIGHT_RING_EVENTS`, with ``ring_dropped`` counting what the
+    bound cut); ``spans`` is the causal span tree of the failing trial,
+    so a violation is debuggable offline without re-execution.
+    """
+    trace = outcome.trace or []
+    return {
+        "ring": trace[-FLIGHT_RING_EVENTS:],
+        "ring_dropped": max(0, len(trace) - FLIGHT_RING_EVENTS),
+        "spans": outcome.spans,
+    }
 
 
 def bundle_dict(
@@ -42,6 +62,7 @@ def bundle_dict(
         "violations": [v.to_dict() for v in outcome.violations],
         "stats": outcome.stats,
         "trace": outcome.trace or [],
+        "flight": flight_dict(outcome),
     }
 
 

@@ -114,6 +114,8 @@ class CheckOutcome:
     stats: Dict[str, Any]
     #: obs trace event dicts when executed with ``traced=True``
     trace: Optional[List[Dict[str, Any]]] = None
+    #: causal span tree of the traced run (flight-recorder payload)
+    spans: Optional[Dict[str, Any]] = None
 
     @property
     def invariants_violated(self) -> List[str]:
@@ -236,24 +238,57 @@ def execute_check(
     sim.run(until=horizon + milliseconds(1))
     suite.run_quiescent_checks()
 
+    # fold the fabric's FIB match-chain counters into the trial's metrics
+    # so cache hit rates travel with the outcome (deterministic sums)
+    chain_hits = 0
+    chain_misses = 0
+    for switch in bundle.network.switches():
+        chain_hits += switch.fib.chain_hits
+        chain_misses += switch.fib.chain_misses
+    if chain_hits or chain_misses:
+        sim.obs.metrics.counter("fib.chain.hits").inc(chain_hits)
+        sim.obs.metrics.counter("fib.chain.misses").inc(chain_misses)
+    snapshot = sim.obs.metrics.snapshot()
+
     stats: Dict[str, Any] = {
         "probes_sent": sender.sent,
         "probes_received": sink.received,
         "events_processed": sim.events_processed,
         "n_events": len(events),
         "checks": dict(sorted(suite.checks_run.items())),
+        "caches": {
+            "spf_cache": {
+                "hits": int(snapshot.get("spf.cache.hits", 0)),
+                "misses": int(snapshot.get("spf.cache.misses", 0)),
+            },
+            "fib_chain": {"hits": chain_hits, "misses": chain_misses},
+        },
     }
     trace = None
+    spans = None
     if traced:
         import json
 
+        from ..obs.spans import SpanError, build_recovery_spans, counters_from_metrics
+
         trace = [json.loads(event.to_json()) for event in sim.obs.trace]
+        try:
+            spans = build_recovery_spans(
+                sim.obs.trace,
+                dst=dst,
+                dport=PROBE_DPORT,
+                counters=counters_from_metrics(snapshot),
+                evicted=sim.obs.trace.evicted,
+            ).to_dict()
+        except SpanError:
+            spans = None
     return CheckOutcome(
         config=config,
         violations=list(suite.violations),
         events=events,
         stats=stats,
         trace=trace,
+        spans=spans,
     )
 
 

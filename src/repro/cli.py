@@ -377,6 +377,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="also write the JSON result to this file",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="causal span tree of a traced recovery run, with Perfetto/"
+        "chrome://tracing and JSONL exporters (see DESIGN.md §10)",
+    )
+    trace.add_argument(
+        "--topology", choices=("fat-tree", "f2tree"), default="fat-tree",
+        help="the §III testbed topology to fail (default: fat-tree)",
+    )
+    trace.add_argument(
+        "--transport", choices=("udp", "tcp"), default="udp",
+        help="probe transport (default: udp)",
+    )
+    trace.add_argument(
+        "--chrome", type=pathlib.Path, default=None,
+        help="write the Chrome trace-event JSON (open in ui.perfetto.dev "
+        "or chrome://tracing) to this file",
+    )
+    trace.add_argument(
+        "--spans", type=pathlib.Path, default=None,
+        help="write the span tree as JSONL (one span per line) to this file",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="print the span tree as JSON instead of the ASCII tree",
+    )
+    trace.add_argument(
+        "--validate", type=pathlib.Path, default=None, metavar="TRACE_JSON",
+        help="schema-check a Chrome trace-event file instead of running "
+        "(0 valid, 1 problems found, 2 unreadable)",
+    )
+    trace.add_argument(
+        "--sweep", choices=sorted(SWEEPS), default=None,
+        help="run this campaign in telemetry mode instead: per-phase "
+        "percentiles and cache hit rates per grid cell",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --sweep (results identical for any value)",
+    )
+    trace.add_argument(
+        "--ports", type=int, default=None,
+        help="switch port count for --sweep topologies (default: sweep's own)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=1,
+        help="master seed for --sweep (default 1)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N trials of --sweep (smoke tests)",
+    )
+    trace.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial wall-clock timeout in seconds for --sweep",
+    )
+    trace.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the --sweep JSON report to this file",
+    )
     verify = sub.add_parser(
         "verify",
         help="statically prove (or refute) the F2Tree backup properties "
@@ -656,6 +716,87 @@ def _cmd_verify(args) -> int:
     return 0 if report.certified else 1
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (
+        ExportError,
+        Observability,
+        build_recovery_spans,
+        counters_from_metrics,
+        validate_chrome_trace_file,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    if args.validate is not None:
+        try:
+            problems = validate_chrome_trace_file(args.validate)
+        except ExportError as exc:
+            print(f"cannot validate {args.validate}: {exc}", file=sys.stderr)
+            return 2
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            print(
+                f"{args.validate}: {len(problems)} schema problem(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.validate}: valid Chrome trace-event JSON")
+        return 0
+
+    if args.sweep is not None:
+        from .campaign.runner import run_campaign
+        from .campaign.sweeps import SWEEPS
+
+        sweep = SWEEPS[args.sweep]
+        ports = args.ports if args.ports is not None else sweep.default_ports
+        specs = sweep.build(ports, args.seed, args.timeout)
+        if args.limit is not None:
+            specs = specs[: max(0, args.limit)]
+        if not specs:
+            print("sweep selected no trials", file=sys.stderr)
+            return 2
+        report = run_campaign(
+            specs,
+            name=args.sweep,
+            workers=args.workers,
+            timeout=args.timeout,
+            campaign_seed=args.seed,
+            telemetry=True,
+        )
+        print(report.to_json() if args.json else report.render())
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report.to_json() + "\n")
+            print(f"wrote telemetry report to {args.out}", file=sys.stderr)
+        return 0 if not report.failed else 1
+
+    from .experiments.testbed import run_testbed
+
+    obs = Observability(enabled=True, capacity=0)
+    result = run_testbed(args.topology, args.transport, obs=obs)
+    tree = build_recovery_spans(
+        obs.trace,
+        breakdown=result.breakdown,
+        counters=counters_from_metrics(obs.metrics.snapshot()),
+        evicted=obs.trace.evicted,
+    )
+    print(tree.to_json(indent=2) if args.json else tree.render())
+    try:
+        if args.chrome is not None:
+            count = write_chrome_trace(tree, args.chrome)
+            print(
+                f"wrote {count} trace events to {args.chrome}", file=sys.stderr
+            )
+        if args.spans is not None:
+            count = write_spans_jsonl(tree, args.spans)
+            print(f"wrote {count} spans to {args.spans}", file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot write export: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -674,6 +815,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

@@ -81,6 +81,11 @@ class Fib:
         #: destination value -> match chain, valid for _cache_generation
         self._chain_cache: dict[int, Tuple[FibEntry, ...]] = {}
         self._cache_generation = 0
+        #: lifetime match-chain cache counters; deterministic (a pure
+        #: function of the lookup/mutation sequence), surfaced through
+        #: MetricsRegistry and the bench harness as a hit rate
+        self.chain_hits = 0
+        self.chain_misses = 0
 
     def __len__(self) -> int:
         return self._count
@@ -176,8 +181,11 @@ class Fib:
         value = address.value
         cached = self._chain_cache.get(value)
         if cached is None:
+            self.chain_misses += 1
             cached = tuple(self.matches(address))
             self._chain_cache[value] = cached
+        else:
+            self.chain_hits += 1
         return cached
 
     def lookup(self, address: IPv4Address) -> Optional[FibEntry]:

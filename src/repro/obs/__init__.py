@@ -9,7 +9,12 @@ pieces:
   of named counters, gauges and fixed-bucket histograms;
 * :mod:`repro.obs.breakdown` — :func:`analyze_recovery`, which turns a
   trace into the paper's per-phase recovery decomposition
-  (detect -> flood -> SPF hold -> SPF compute -> FIB update -> first packet).
+  (detect -> flood -> SPF hold -> SPF compute -> FIB update -> first packet);
+* :mod:`repro.obs.spans` — :func:`build_recovery_spans`, which lifts that
+  decomposition into a causal parent/child :class:`SpanTree` (per-node
+  ``spf`` and per-prefix ``fib_delta`` children, counters on the root);
+* :mod:`repro.obs.export` — span exporters: JSONL and Chrome trace-event
+  JSON (openable in Perfetto / ``chrome://tracing``).
 
 The :class:`Observability` facade bundles one recorder and one registry and
 is what a :class:`~repro.sim.engine.Simulator` carries (``sim.obs``).
@@ -45,6 +50,17 @@ from .breakdown import (
     analyze_recovery,
     render_breakdown,
 )
+from .export import (
+    ExportError,
+    chrome_trace,
+    chrome_trace_json,
+    hierarchy_names,
+    read_spans_jsonl,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 from .registry import (
     DEFAULT_MS_BUCKETS,
     Counter,
@@ -52,6 +68,17 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     default_registry,
+)
+from .spans import (
+    SPAN_FIB_DELTA,
+    SPAN_RECOVERY,
+    SPAN_SPF,
+    SPANS_VERSION,
+    Span,
+    SpanError,
+    SpanTree,
+    build_recovery_spans,
+    counters_from_metrics,
 )
 from .trace import (
     DEFAULT_CAPACITY,
@@ -148,4 +175,24 @@ __all__ = [
     "MECHANISM_FRR",
     "MECHANISM_NONE",
     "MECHANISM_SPF",
+    # spans
+    "Span",
+    "SpanTree",
+    "SpanError",
+    "build_recovery_spans",
+    "counters_from_metrics",
+    "SPANS_VERSION",
+    "SPAN_RECOVERY",
+    "SPAN_SPF",
+    "SPAN_FIB_DELTA",
+    # export
+    "ExportError",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "hierarchy_names",
 ]

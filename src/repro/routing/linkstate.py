@@ -44,10 +44,15 @@ from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
 from .lsdb import Lsa, Lsdb
 from .spf import RouteTable
-from .spf_cache import compute_routes_cached
+from .spf_cache import SpfCacheStats, compute_routes_cached
 
 #: FIB entry source tag for routes installed by this protocol.
 SOURCE = "linkstate"
+
+#: bound on the per-prefix change list attached to ``fib.install`` trace
+#: events (feeds the per-prefix ``fib_delta`` spans); anything beyond is
+#: summarised in ``changes_truncated``
+MAX_TRACED_FIB_CHANGES = 16
 
 
 @dataclass
@@ -84,6 +89,8 @@ class LinkStateProtocol:
         self._advertised: Tuple[Prefix, ...] = tuple(advertised)
         self.lsdb = Lsdb()
         self.stats = ProtocolStats()
+        #: logical (deterministic, per-instance) SPF cache accounting
+        self.spf_cache_stats = SpfCacheStats()
         self._seq = 0
         # SPF throttle state
         self._spf_timer = Timer(sim, self._run_spf)
@@ -212,14 +219,24 @@ class LinkStateProtocol:
         obs.metrics.histogram("spf.hold_ms").observe(
             self._hold_current / MILLISECOND
         )
-        obs.trace.emit(
-            self.sim.now, EV_SPF_RUN, self.name, hold=self._hold_current
-        )
         self._last_spf_at = self.sim.now
         self._hold_expiry = self.sim.now + self._hold_current
         # memoized: seq-only LSA refreshes under a failure storm hit the
-        # shared cache (the fingerprint ignores sequence numbers)
+        # shared cache (the fingerprint ignores sequence numbers); the
+        # per-instance stats count *logical* reuse — noted here, outside
+        # the cache, so it is deterministic regardless of how warm the
+        # shared cache happens to be (or whether it has been swapped out)
+        cached = self.spf_cache_stats.note(
+            (self.name, self.lsdb.fingerprint())
+        )
         self._pending_routes = compute_routes_cached(self.name, self.lsdb)
+        obs.metrics.counter(
+            "spf.cache.hits" if cached else "spf.cache.misses"
+        ).inc()
+        obs.trace.emit(
+            self.sim.now, EV_SPF_RUN, self.name,
+            hold=self._hold_current, cached=cached,
+        )
         self._install_timer.start(self.params.fib_update_delay)
 
     def _install_pending(self) -> None:
@@ -229,14 +246,21 @@ class LinkStateProtocol:
             return
         self._pending_routes = None
         self.stats.fib_installs += 1
+        obs = self._obs
         fib = self.switch.fib
         withdrawn = 0
         installed = 0
+        # per-prefix change names feed the trace's fib_delta spans; only
+        # collected while tracing is on (the list build is pure overhead
+        # otherwise)
+        changes: Optional[List[str]] = [] if obs.enabled else None
         for prefix in list(self._installed):
             if prefix not in routes:
                 fib.withdraw(prefix)
                 del self._installed[prefix]
                 withdrawn += 1
+                if changes is not None:
+                    changes.append(f"-{prefix}")
         for prefix, next_hops in routes.items():
             current = self._installed.get(prefix)
             if current is not None and current.next_hops == next_hops:
@@ -245,16 +269,25 @@ class LinkStateProtocol:
             fib.install(entry)
             self._installed[prefix] = entry
             installed += 1
-        obs = self._obs
+            if changes is not None:
+                changes.append(
+                    f"~{prefix}" if current is not None else f"+{prefix}"
+                )
         obs.metrics.counter("fib.installs").inc()
         if self._last_spf_at is not None:
             obs.metrics.histogram("fib.install_latency_ms").observe(
                 (self.sim.now - self._last_spf_at) / MILLISECOND
             )
+        detail: Dict[str, object] = {}
+        if changes is not None:
+            detail["changes"] = changes[:MAX_TRACED_FIB_CHANGES]
+            detail["changes_truncated"] = max(
+                0, len(changes) - MAX_TRACED_FIB_CHANGES
+            )
         obs.trace.emit(
             self.sim.now, EV_FIB_INSTALL, self.name,
             installed=installed, withdrawn=withdrawn,
-            changed=installed + withdrawn,
+            changed=installed + withdrawn, **detail,
         )
 
     # ------------------------------------------------------------- queries

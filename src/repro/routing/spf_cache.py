@@ -30,7 +30,7 @@ changes nothing observable.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Set, Tuple
 
 from .lsdb import Lsdb
 from .spf import RouteTable, compute_routes
@@ -40,6 +40,36 @@ from .spf import RouteTable, compute_routes
 _MAX_ENTRIES = 4096
 
 _Key = Tuple[str, tuple]
+
+
+class SpfCacheStats:
+    """Deterministic *logical* hit/miss accounting for one consumer.
+
+    The shared cache's physical ``hits``/``misses`` depend on process
+    history — which other trials warmed it in the same worker — so they
+    can never appear in byte-identical campaign reports.  A stats object
+    counts logical reuse instead: a key is a hit iff **this consumer**
+    has asked for it before, which is a pure function of the consumer's
+    own request sequence and therefore identical for any worker count.
+    Physical counters remain on :class:`SpfCache` for the (single
+    process) bench harness.
+    """
+
+    __slots__ = ("hits", "misses", "_seen")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._seen: Set[_Key] = set()
+
+    def note(self, key: _Key) -> bool:
+        """Record one request; True iff it was a (logical) repeat."""
+        if key in self._seen:
+            self.hits += 1
+            return True
+        self._seen.add(key)
+        self.misses += 1
+        return False
 
 
 class SpfCache:
@@ -61,7 +91,11 @@ class SpfCache:
         """``compute_routes(origin, lsdb)``, memoized.
 
         The returned table is shared between callers and must be treated
-        as read-only.
+        as read-only.  Consumers that need deterministic accounting keep
+        their own :class:`SpfCacheStats` and call :meth:`~SpfCacheStats.
+        note` *before* this — never through it, so swapping the cache
+        out (the fastpath differential tests do) cannot change what any
+        consumer reports.
         """
         key = (origin, lsdb.fingerprint())
         store = self._store

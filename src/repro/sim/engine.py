@@ -139,6 +139,18 @@ class Simulator:
         """Number of *live* events still scheduled (cancelled excluded)."""
         return len(self._queue) - self._cancelled_pending
 
+    def counters(self) -> dict:
+        """A cheap, JSON-safe snapshot of the engine's lifetime counters.
+
+        Deterministic (pure simulation state, no wall clocks); consumed
+        by the span builder's root-span attrs and the flight recorder.
+        """
+        return {
+            "now_ns": self._now,
+            "events_processed": self._events_processed,
+            "pending_events": self.pending_events,
+        }
+
     def _note_cancelled(self) -> None:
         """Bookkeeping for a cancellation; compacts the heap when more than
         half of it is cancelled dead weight (lazy, amortised O(1)).

@@ -1,0 +1,265 @@
+"""Tests for campaign telemetry: the deterministic span-tree merge, the
+worker-count byte-identity guarantee in telemetry mode, and the ``repro
+trace`` CLI (including the 0/1/2 exit-code convention shared by all five
+operational subcommands)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.report import STATUS_OK, TrialRecord
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import TrialSpec
+from repro.campaign.telemetry import (
+    cell_key,
+    merge_telemetry,
+    percentile,
+    render_telemetry,
+)
+from repro.cli import main
+from repro.obs.spans import Span
+
+
+def tree_dict(mechanism: str = "spf-reconvergence", detect: int = 60) -> dict:
+    spans = [
+        Span(1, None, "recovery", start=0, end=1000,
+             attrs={"mechanism": mechanism}),
+        Span(2, 1, "detect", start=0, end=detect),
+    ]
+    return {"version": 1, "spans": [s.to_dict() for s in spans]}
+
+
+def record(
+    seed: int,
+    detect: int = 60,
+    mechanism: str = "spf-reconvergence",
+    with_spans: bool = True,
+    **params,
+) -> TrialRecord:
+    params.setdefault("topology", "fat-tree")
+    return TrialRecord(
+        spec=TrialSpec.make("recovery", seed=seed, **params),
+        status=STATUS_OK,
+        payload={},
+        metrics={"spf.cache.hits": 2, "spf.cache.misses": 8,
+                 "fib.chain.hits": 1, "fib.chain.misses": 3},
+        spans=tree_dict(mechanism, detect) if with_spans else None,
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = sorted([15, 20, 35, 40, 50])
+        assert percentile(values, 50) == 35
+        assert percentile(values, 95) == 50
+        assert percentile(values, 99) == 50
+        assert percentile(values, 100) == 50
+
+    def test_single_value(self):
+        assert percentile([7], 50) == percentile([7], 99) == 7
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCellKey:
+    def test_strips_seed_keeps_params(self):
+        a = TrialSpec.make("recovery", seed=1, topology="fat-tree", ports=4)
+        b = TrialSpec.make("recovery", seed=2, topology="fat-tree", ports=4)
+        assert cell_key(a) == cell_key(b)
+        assert "seed" not in cell_key(a)
+        assert cell_key(a) == "recovery[ports=4,topology=fat-tree]"
+
+
+class TestMergeTelemetry:
+    def test_none_without_spans(self):
+        assert merge_telemetry([record(1, with_spans=False)]) is None
+        assert merge_telemetry([]) is None
+
+    def test_phases_and_mechanisms_per_cell(self):
+        merged = merge_telemetry([
+            record(1, detect=10), record(2, detect=30), record(3, detect=20),
+        ])
+        cell = merged["cells"]["recovery[topology=fat-tree]"]
+        assert cell["trials"] == 3
+        assert cell["mechanisms"] == {"spf-reconvergence": 3}
+        assert cell["phases"]["detect"] == {
+            "n": 3, "p50_ns": 20, "p95_ns": 30, "p99_ns": 30,
+        }
+
+    def test_cache_counters_sum_per_cell_and_total(self):
+        merged = merge_telemetry([record(1), record(2)])
+        cell = merged["cells"]["recovery[topology=fat-tree]"]
+        assert cell["caches"]["spf_cache"] == {
+            "hits": 4, "misses": 16, "hit_rate": 0.2,
+        }
+        assert merged["caches"]["fib_chain"] == {
+            "hits": 2, "misses": 6, "hit_rate": 0.25,
+        }
+
+    def test_spanless_records_still_feed_cache_totals(self):
+        merged = merge_telemetry([
+            record(1),
+            record(2, with_spans=False, topology="f2tree"),
+        ])
+        # the spanless trial's cell has no span row, but its counters
+        # land in the campaign-wide totals
+        assert list(merged["cells"]) == ["recovery[topology=fat-tree]"]
+        assert merged["caches"]["spf_cache"]["hits"] == 4
+
+    def test_merge_is_order_independent(self):
+        records = [record(s, detect=s * 10) for s in (1, 2, 3)]
+        forward = merge_telemetry(records)
+        backward = merge_telemetry(list(reversed(records)))
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+
+    def test_render_tables(self):
+        text = render_telemetry(merge_telemetry([record(1), record(2)]))
+        assert "per-phase percentiles" in text
+        assert "detect" in text
+        assert "cache hit rates" in text
+        assert "spf_cache" in text
+
+
+def telemetry_specs():
+    return [
+        TrialSpec.make(
+            "recovery", seed=None, topology="fat-tree", ports=4,
+            transport="udp",
+        ),
+        TrialSpec.make(
+            "recovery", seed=None, topology="f2tree", ports=6,
+            transport="udp",
+        ),
+        TrialSpec.make("check", seed=None, index=0),
+    ]
+
+
+class TestTelemetryCampaign:
+    def test_serial_and_parallel_byte_identical(self):
+        serial = run_campaign(
+            telemetry_specs(), name="tel", workers=1, telemetry=True
+        )
+        parallel = run_campaign(
+            telemetry_specs(), name="tel", workers=2, telemetry=True
+        )
+        assert serial.to_json().encode() == parallel.to_json().encode()
+
+    def test_report_carries_telemetry_section(self):
+        report = run_campaign(
+            telemetry_specs()[:1], name="tel", workers=1, telemetry=True
+        )
+        data = json.loads(report.to_json())
+        assert "telemetry" in data
+        cells = data["telemetry"]["cells"]
+        (cell,) = cells.values()
+        assert cell["mechanisms"] == {"spf-reconvergence": 1}
+        assert set(cell["phases"]) == {
+            "detect", "flood", "spf_hold", "spf_compute", "fib_update",
+            "first_packet",
+        }
+        assert data["telemetry"]["caches"]["spf_cache"]["misses"] > 0
+        # every successful trial shipped its span tree
+        for trial in data["trials"]:
+            assert trial["spans"]["spans"][0]["name"] == "recovery"
+        assert "telemetry (per-phase percentiles" in report.render()
+
+    def test_non_telemetry_campaign_has_no_section(self):
+        report = run_campaign(
+            telemetry_specs()[:1], name="plain", workers=1
+        )
+        assert report.telemetry() is None
+        data = json.loads(report.to_json())
+        assert "telemetry" not in data
+        assert "spans" not in data["trials"][0]
+
+
+class TestTraceCli:
+    def test_validate_good_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+             "args": {"name": "lane"}},
+            {"ph": "X", "pid": 1, "tid": 0, "name": "recovery",
+             "ts": 0, "dur": 5.0},
+        ]}))
+        assert main(["trace", "--validate", str(path)]) == 0
+        assert "valid Chrome trace-event JSON" in capsys.readouterr().out
+
+    def test_validate_schema_problems_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["trace", "--validate", str(path)]) == 1
+        assert "schema problem" in capsys.readouterr().err
+
+    def test_validate_unreadable_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        assert main(["trace", "--validate", str(path)]) == 2
+        assert "cannot validate" in capsys.readouterr().err
+
+    def test_sweep_without_trials_exits_two(self, capsys):
+        assert main(["trace", "--sweep", "detection", "--limit", "0"]) == 2
+        assert "no trials" in capsys.readouterr().err
+
+    def test_single_run_with_exports(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        spans = tmp_path / "spans.jsonl"
+        assert main([
+            "trace", "--topology", "fat-tree",
+            "--chrome", str(chrome), "--spans", str(spans),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out and "detect" in out
+        assert main(["trace", "--validate", str(chrome)]) == 0
+        from repro.obs.export import read_spans_jsonl
+
+        tree = read_spans_jsonl(spans)
+        assert tree.root.name == "recovery"
+
+    def test_telemetry_sweep_exits_zero_and_writes_report(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "tel.json"
+        assert main([
+            "trace", "--sweep", "detection", "--limit", "1",
+            "--ports", "6", "--json", "--out", str(out),
+        ]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert "telemetry" in printed
+        assert json.loads(out.read_text()) == printed
+
+
+class TestExitCodeConvention:
+    """Every operational subcommand shares 0 = ok / 1 = violation or
+    refutation / 2 = usage error.  One usage-error pin per subcommand,
+    so a regression in any parser or dispatcher fails here by name."""
+
+    def test_check_usage_error(self, capsys):
+        assert main(["check", "--trials", "0"]) == 2
+        assert "no trials requested" in capsys.readouterr().err
+
+    def test_sweep_usage_error(self, capsys):
+        assert main(["sweep", "detection", "--limit", "0"]) == 2
+        assert "sweep selected no trials" in capsys.readouterr().err
+
+    def test_verify_usage_error(self, capsys):
+        assert main(["verify", "--topology", "moebius-tree"]) == 2
+        assert "cannot build topology" in capsys.readouterr().err
+
+    def test_report_usage_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot analyze" in capsys.readouterr().err
+
+    def test_trace_usage_error(self, tmp_path, capsys):
+        assert main(["trace", "--validate", str(tmp_path / "nope.json")]) == 2
+        assert "cannot validate" in capsys.readouterr().err

