@@ -154,6 +154,43 @@ def _disable_failure_detection(bundle) -> None:
             detector.observe = lambda up: None
 
 
+def _corrupt_incremental_spf(bundle) -> None:
+    """Sabotage every protocol instance's incremental SPF updates: each
+    successfully patched state has its ECMP route sets truncated to a
+    single (valid shortest-path) member.  The truncation keeps forwarding
+    loop-free and live — only the convergence-agreement differential can
+    see it, because the global oracle (whose own incremental path lives
+    in the *shared* cache, untouched by this instance-level patch) still
+    computes the full ECMP sets."""
+    from ..routing.spf_incremental import IncrementalSpfEngine, SpfState
+
+    for protocol in bundle.protocols.values():
+        engine = getattr(protocol, "_spf_engine", None)
+        if engine is None:
+            continue
+
+        def corrupted(state, new_fp, delta, _engine=engine):
+            result = IncrementalSpfEngine._update_state(
+                _engine, state, new_fp, delta
+            )
+            if result is None:
+                return None
+            patched, touched = result
+            routes = {
+                prefix: hops if len(hops) <= 1 else (min(hops),)
+                for prefix, hops in patched.routes.items()
+            }
+            return (
+                SpfState(
+                    patched.origin, patched.fingerprint,
+                    patched.dist, patched.first_hops, routes,
+                ),
+                touched,
+            )
+
+        engine._update_state = corrupted
+
+
 def _leak_one_channel(bundle) -> None:
     """Make one directed channel swallow packets without accounting:
     conservation (sent = delivered + dropped) breaks on that channel."""
@@ -210,6 +247,16 @@ _register(FaultMutant(
                 "stale LSDB that disagrees with the global SPF oracle",
     config_factory=lambda: _events_config("f2tree", 6, "C4"),
     apply=_drop_lsa_relays,
+))
+
+_register(FaultMutant(
+    name="spf-incremental-corrupted",
+    invariant=CONVERGENCE_AGREEMENT,
+    description="incremental SPF subtree updates truncate every ECMP "
+                "route to one next hop; installed routes disagree with "
+                "the full-ECMP global SPF oracle after reconvergence",
+    config_factory=lambda: _events_config("f2tree", 6, "C1"),
+    apply=_corrupt_incremental_spf,
 ))
 
 _register(FaultMutant(

@@ -33,6 +33,8 @@ from typing import Hashable, Iterator, Optional, Tuple
 
 from .ip import IPv4Address, Prefix
 
+__all__ = ["LOCAL", "NextHop", "FibEntry", "FibDelta", "Fib"]
+
 #: Sentinel next hop meaning "the destination is directly attached".
 LOCAL = "LOCAL"
 
@@ -57,6 +59,33 @@ class FibEntry:
     def __post_init__(self) -> None:
         if not self.next_hops:
             raise ValueError(f"FIB entry for {self.prefix} has no next hops")
+
+
+@dataclass(frozen=True)
+class FibDelta:
+    """A computed batch of FIB changes applied atomically.
+
+    Control planes diff their previous download against the new route
+    table and hand the FIB only the difference — the common reconvergence
+    case after a single link event changes a handful of prefixes out of
+    dozens.  :meth:`Fib.apply_delta` applies the whole batch under **one**
+    :attr:`Fib.generation` bump, so the per-destination match-chain cache
+    is invalidated once per download instead of once per touched prefix.
+
+    ``withdrawals`` are applied before ``installs``; an entry appearing in
+    both positions (replace) therefore ends installed.  Both tuples are
+    expected in deterministic (sorted) order — the order is observable
+    through trace ``changes`` lists, not through the resulting trie.
+    """
+
+    installs: Tuple[FibEntry, ...] = ()
+    withdrawals: Tuple[Prefix, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.installs or self.withdrawals)
+
+    def __len__(self) -> int:
+        return len(self.installs) + len(self.withdrawals)
 
 
 class _TrieNode:
@@ -90,10 +119,8 @@ class Fib:
     def __len__(self) -> int:
         return self._count
 
-    def install(self, entry: FibEntry) -> None:
-        """Insert or replace the entry for ``entry.prefix``."""
-        self.installs += 1
-        self.generation += 1
+    def _insert(self, entry: FibEntry) -> None:
+        """Trie insertion only — no counter or generation accounting."""
         node = self._root
         for bit_index in range(entry.prefix.length):
             bit = (entry.prefix.network >> (31 - bit_index)) & 1
@@ -106,8 +133,8 @@ class Fib:
             self._count += 1
         node.entry = entry
 
-    def withdraw(self, prefix: Prefix) -> bool:
-        """Remove the entry for ``prefix``; returns False if absent.
+    def _remove(self, prefix: Prefix) -> bool:
+        """Trie removal only — no counter or generation accounting.
 
         Empty trie branches are pruned so that long-running simulations with
         failure churn do not leak nodes.
@@ -125,8 +152,6 @@ class Fib:
             return False
         node.entry = None
         self._count -= 1
-        self.withdrawals += 1
-        self.generation += 1
         for parent, bit in reversed(path):
             child = parent.children[bit]
             assert child is not None
@@ -135,6 +160,43 @@ class Fib:
             else:
                 break
         return True
+
+    def install(self, entry: FibEntry) -> None:
+        """Insert or replace the entry for ``entry.prefix``."""
+        self.installs += 1
+        self.generation += 1
+        self._insert(entry)
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the entry for ``prefix``; returns False if absent."""
+        if not self._remove(prefix):
+            return False
+        self.withdrawals += 1
+        self.generation += 1
+        return True
+
+    def apply_delta(self, delta: FibDelta) -> None:
+        """Apply one computed change batch with a single generation bump.
+
+        Per-entry churn counters advance exactly as the equivalent
+        sequence of :meth:`install`/:meth:`withdraw` calls would (the
+        telemetry audit trail is batching-independent); only
+        :attr:`generation` differs — one bump per mutating batch, which
+        is what keeps the match-chain cache coherent at batch cost
+        instead of per-prefix cost.  Withdrawals of absent prefixes are
+        ignored, mirroring :meth:`withdraw` returning ``False``.
+        """
+        mutated = False
+        for prefix in delta.withdrawals:
+            if self._remove(prefix):
+                self.withdrawals += 1
+                mutated = True
+        for entry in delta.installs:
+            self._insert(entry)
+            self.installs += 1
+            mutated = True
+        if mutated:
+            self.generation += 1
 
     def exact(self, prefix: Prefix) -> Optional[FibEntry]:
         """The entry installed for exactly ``prefix``, if any."""

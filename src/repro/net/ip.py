@@ -24,11 +24,12 @@ class AddressError(ValueError):
 class IPv4Address:
     """An IPv4 address backed by a 32-bit integer."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: Union[int, str, "IPv4Address"]) -> None:
         if isinstance(value, IPv4Address):
             self.value = value.value
+            self._hash = value._hash
             return
         if isinstance(value, str):
             value = _parse_dotted(value)
@@ -37,6 +38,10 @@ class IPv4Address:
         if not 0 <= value <= _MAX32:
             raise AddressError(f"address out of range: {value}")
         self.value = value
+        # precomputed: addresses are immutable and live as dict keys in
+        # hot paths (ARP-ish maps, flow keys), so __hash__ must be a
+        # plain attribute load
+        self._hash = hash(("IPv4Address", value))
 
     def __int__(self) -> int:
         return self.value
@@ -50,7 +55,7 @@ class IPv4Address:
         return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash(("IPv4Address", self.value))
+        return self._hash
 
     def __add__(self, offset: int) -> "IPv4Address":
         return IPv4Address(self.value + offset)
@@ -88,7 +93,7 @@ def _mask(length: int) -> int:
 class Prefix:
     """An IPv4 prefix (network address + length), e.g. ``10.11.0.0/16``."""
 
-    __slots__ = ("network", "length")
+    __slots__ = ("network", "length", "_hash")
 
     def __init__(self, network: Union[int, str, IPv4Address], length: int | None = None) -> None:
         if isinstance(network, str) and "/" in network:
@@ -103,6 +108,10 @@ class Prefix:
         mask = _mask(length)
         self.network = addr.value & mask
         self.length = length
+        # precomputed: prefixes key route tables, FIB tries, and the
+        # LSDB fingerprints the SPF caches hash on every lookup — the
+        # tuple-build-per-call hash dominated those lookups in profiles
+        self._hash = hash(("Prefix", self.network, length))
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
@@ -168,7 +177,7 @@ class Prefix:
         return (self.network, self.length) < (other.network, other.length)
 
     def __hash__(self) -> int:
-        return hash(("Prefix", self.network, self.length))
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.network_address}/{self.length}"

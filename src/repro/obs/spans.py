@@ -419,6 +419,11 @@ def build_recovery_spans(
                 attrs["hold_ns"] = event.data["hold"]
             if "cached" in event.data:
                 attrs["cached"] = event.data["cached"]
+            if "delta" in event.data:
+                # the logical LSDB-transition classification (refresh /
+                # cosmetic / link-down / link-up / structural) — shows
+                # which runs the incremental engine could patch
+                attrs["delta"] = event.data["delta"]
             builder.add(
                 SPAN_SPF, event.time, event.time,
                 parent=parent, node=event.node, attrs=attrs,

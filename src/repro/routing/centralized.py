@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # runtime import would be circular
 
 from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
-from ..net.fib import FibEntry
+from ..net.fib import FibDelta, FibEntry
 from ..net.ip import Prefix
 from ..net.packet import Packet
 from ..sim.engine import Simulator, Timer
@@ -219,22 +219,28 @@ class CentralizedAgent:
         self._install_timer.start(self.params.fib_update_delay)
 
     def _install_pending(self) -> None:
+        # computed delta against the previous push, applied as one batch
+        # (one generation bump) in sorted-prefix order — same contract as
+        # the link-state protocol's FIB download
         table = self._pending
         if table is None:
             return
         self._pending = None
         fib = self.switch.fib
-        for prefix in list(self._installed):
-            if prefix not in table:
-                fib.withdraw(prefix)
-                del self._installed[prefix]
-        for prefix, next_hops in table.items():
+        withdrawals = tuple(sorted(
+            prefix for prefix in self._installed if prefix not in table
+        ))
+        installs: List[FibEntry] = []
+        for prefix in sorted(table):
             current = self._installed.get(prefix)
-            if current is not None and current.next_hops == next_hops:
+            if current is not None and current.next_hops == table[prefix]:
                 continue
-            entry = FibEntry(prefix, next_hops, source=SOURCE)
-            fib.install(entry)
-            self._installed[prefix] = entry
+            installs.append(FibEntry(prefix, table[prefix], source=SOURCE))
+        fib.apply_delta(FibDelta(tuple(installs), withdrawals))
+        for prefix in withdrawals:
+            del self._installed[prefix]
+        for entry in installs:
+            self._installed[entry.prefix] = entry
 
     @property
     def routes(self) -> Dict[Prefix, FibEntry]:

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 if TYPE_CHECKING:  # runtime import would be circular
     from ..dataplane.network import Network
 
-from ..net.fib import FibEntry
+from ..net.fib import FibDelta, FibEntry
 from ..net.ip import Prefix
 from ..net.packet import Packet
 from ..obs.trace import (
@@ -44,7 +44,8 @@ from ..dataplane.node import SwitchNode
 from ..dataplane.params import NetworkParams
 from .lsdb import Lsa, Lsdb
 from .spf import RouteTable
-from .spf_cache import SpfCacheStats, compute_routes_cached
+from .spf_cache import SpfCacheStats
+from .spf_incremental import IncrementalSpfEngine
 
 #: FIB entry source tag for routes installed by this protocol.
 SOURCE = "linkstate"
@@ -63,6 +64,12 @@ class ProtocolStats:
     lsas_flooded: int = 0
     lsas_accepted: int = 0
     spf_runs: int = 0
+    #: SPF runs answered by patching the previous tree (subset of spf_runs)
+    spf_incremental_runs: int = 0
+    #: SPF runs that executed (or fetched) a from-scratch computation
+    spf_full_runs: int = 0
+    #: nodes recomputed across all incremental runs (region sizes)
+    spf_nodes_touched: int = 0
     fib_installs: int = 0
     #: hold values at each SPF completion — shows the exponential backoff
     hold_history: List[Time] = field(default_factory=list)
@@ -91,6 +98,9 @@ class LinkStateProtocol:
         self.stats = ProtocolStats()
         #: logical (deterministic, per-instance) SPF cache accounting
         self.spf_cache_stats = SpfCacheStats()
+        #: per-instance incremental SPF (full computations hit the shared
+        #: cache; single-edge LSDB deltas patch the previous tree in place)
+        self._spf_engine = IncrementalSpfEngine(self.name)
         self._seq = 0
         # SPF throttle state
         self._spf_timer = Timer(sim, self._run_spf)
@@ -229,18 +239,40 @@ class LinkStateProtocol:
         cached = self.spf_cache_stats.note(
             (self.name, self.lsdb.fingerprint())
         )
-        self._pending_routes = compute_routes_cached(self.name, self.lsdb)
+        routes, report = self._spf_engine.compute(self.lsdb)
+        self._pending_routes = routes
+        if report.incremental:
+            self.stats.spf_incremental_runs += 1
+            self.stats.spf_nodes_touched += report.touched
+            obs.metrics.counter("spf.incremental.runs").inc()
+            obs.metrics.counter("spf.incremental.touched").inc(report.touched)
+        else:
+            self.stats.spf_full_runs += 1
         obs.metrics.counter(
             "spf.cache.hits" if cached else "spf.cache.misses"
         ).inc()
+        # the traced delta is the *logical* transition classification — a
+        # pure function of this instance's fingerprint sequence, identical
+        # whether the incremental path executed or was force-disabled, so
+        # traces stay byte-identical either way (touched counts are
+        # execution detail and live in stats/metrics only)
         obs.trace.emit(
             self.sim.now, EV_SPF_RUN, self.name,
-            hold=self._hold_current, cached=cached,
+            hold=self._hold_current, cached=cached, delta=report.delta,
         )
         self._install_timer.start(self.params.fib_update_delay)
 
     def _install_pending(self) -> None:
-        """FIB download: replace this protocol's routes atomically."""
+        """FIB download: apply the computed delta against the old download.
+
+        The new route table is diffed against the previous install and
+        only the difference touches the FIB — one
+        :meth:`~repro.net.fib.Fib.apply_delta` batch, one generation
+        bump.  The delta is built in sorted-prefix order so the trace's
+        ``changes`` list (and therefore the whole obs trace) is a pure
+        function of the route tables, independent of whichever code path
+        (full or incremental SPF) produced their dict ordering.
+        """
         routes = self._pending_routes
         if routes is None:
             return
@@ -248,31 +280,36 @@ class LinkStateProtocol:
         self.stats.fib_installs += 1
         obs = self._obs
         fib = self.switch.fib
-        withdrawn = 0
-        installed = 0
+        withdrawals = tuple(sorted(
+            prefix for prefix in self._installed if prefix not in routes
+        ))
+        replaced: Set[Prefix] = set()
+        installs: List[FibEntry] = []
+        for prefix in sorted(routes):
+            next_hops = routes[prefix]
+            current = self._installed.get(prefix)
+            if current is not None:
+                if current.next_hops == next_hops:
+                    continue
+                replaced.add(prefix)
+            installs.append(FibEntry(prefix, next_hops, source=SOURCE))
+        fib.apply_delta(FibDelta(tuple(installs), withdrawals))
+        for prefix in withdrawals:
+            del self._installed[prefix]
+        for entry in installs:
+            self._installed[entry.prefix] = entry
+        withdrawn = len(withdrawals)
+        installed = len(installs)
         # per-prefix change names feed the trace's fib_delta spans; only
         # collected while tracing is on (the list build is pure overhead
         # otherwise)
-        changes: Optional[List[str]] = [] if obs.enabled else None
-        for prefix in list(self._installed):
-            if prefix not in routes:
-                fib.withdraw(prefix)
-                del self._installed[prefix]
-                withdrawn += 1
-                if changes is not None:
-                    changes.append(f"-{prefix}")
-        for prefix, next_hops in routes.items():
-            current = self._installed.get(prefix)
-            if current is not None and current.next_hops == next_hops:
-                continue
-            entry = FibEntry(prefix, next_hops, source=SOURCE)
-            fib.install(entry)
-            self._installed[prefix] = entry
-            installed += 1
-            if changes is not None:
-                changes.append(
-                    f"~{prefix}" if current is not None else f"+{prefix}"
-                )
+        changes: Optional[List[str]] = None
+        if obs.enabled:
+            changes = [f"-{prefix}" for prefix in withdrawals]
+            changes.extend(
+                f"~{e.prefix}" if e.prefix in replaced else f"+{e.prefix}"
+                for e in installs
+            )
         obs.metrics.counter("fib.installs").inc()
         if self._last_spf_at is not None:
             obs.metrics.histogram("fib.install_latency_ms").observe(

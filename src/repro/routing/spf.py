@@ -6,34 +6,48 @@ destination we keep the **set of first hops** across all equal-cost
 shortest paths — that set is what ECMP hashes over (§II-A), and its
 "eliminate the failed member" behaviour is realised later by the data
 plane's live-next-hop pruning.
+
+The computation is split into two composable passes so the incremental
+engine (:mod:`repro.routing.spf_incremental`) can reuse each half:
+
+* :func:`dijkstra` — the reachability pass: per-node distance and
+  ECMP first-hop set from the origin;
+* :func:`aggregate_routes` — the prefix pass: fold advertised prefixes
+  over the reachability maps (nearest advertiser wins, equal distances
+  merge their next hops).
+
+:func:`compute_routes` is their composition and remains the from-scratch
+oracle every cached/incremental path is differentially tested against.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..net.ip import Prefix
-from .lsdb import Lsdb
+from .lsdb import Lsa, Lsdb
 
 #: destination prefix -> ordered next-hop switch names
 RouteTable = Dict[Prefix, Tuple[str, ...]]
 
+#: node -> hop count from the origin (reachable nodes only)
+DistanceMap = Dict[str, int]
 
-def compute_routes(origin: str, lsdb: Lsdb) -> RouteTable:
-    """All-prefix ECMP routes from ``origin``'s point of view.
+#: node -> ECMP first-hop set from the origin (empty for the origin)
+FirstHopMap = Dict[str, frozenset]
 
-    Prefixes advertised by ``origin`` itself are excluded (they are
-    connected, not routed).  When several routers advertise the same prefix
-    (anycast-style), the nearest wins and equal distances merge their next
-    hops.
+
+def dijkstra(origin: str, lsdb: Lsdb) -> Tuple[DistanceMap, FirstHopMap]:
+    """Unit-cost Dijkstra over the two-way graph, tracking ECMP first hops.
+
+    Returns ``(dist, first_hops)`` over every node reachable from
+    ``origin`` (including the origin itself, at distance 0 with an empty
+    first-hop set).  The maps are exactly the per-node state the
+    incremental engine snapshots and patches.
     """
-    own = lsdb.get(origin)
-    if own is None:
-        return {}
-
-    dist: Dict[str, int] = {origin: 0}
-    first_hops: Dict[str, frozenset] = {origin: frozenset()}
+    dist: DistanceMap = {origin: 0}
+    first_hops: FirstHopMap = {origin: frozenset()}
     heap: list[tuple[int, str]] = [(0, origin)]
     visited: set[str] = set()
 
@@ -62,9 +76,25 @@ def compute_routes(origin: str, lsdb: Lsdb) -> RouteTable:
                     if v not in visited:
                         heapq.heappush(heap, (nd, v))
 
-    own_prefixes = set(own.prefixes)
+    return dist, first_hops
+
+
+def aggregate_routes(
+    origin: str,
+    own_prefixes: frozenset,
+    advertisements: Iterable[Lsa],
+    dist: DistanceMap,
+    first_hops: FirstHopMap,
+) -> RouteTable:
+    """Fold advertised prefixes over the reachability maps.
+
+    Prefixes advertised by ``origin`` itself are excluded (they are
+    connected, not routed).  When several routers advertise the same
+    prefix (anycast-style), the nearest wins and equal distances merge
+    their next hops.
+    """
     best: Dict[Prefix, tuple[int, frozenset]] = {}
-    for lsa in lsdb.all():
+    for lsa in advertisements:
         if lsa.origin == origin or lsa.origin not in dist:
             continue
         d = dist[lsa.origin]
@@ -81,3 +111,18 @@ def compute_routes(origin: str, lsdb: Lsdb) -> RouteTable:
                 best[prefix] = (d, current[1] | hops)
 
     return {prefix: tuple(sorted(hops)) for prefix, (d, hops) in best.items()}
+
+
+def compute_routes(origin: str, lsdb: Lsdb) -> RouteTable:
+    """All-prefix ECMP routes from ``origin``'s point of view.
+
+    The from-scratch oracle: a full :func:`dijkstra` pass followed by
+    :func:`aggregate_routes` over every LSA.
+    """
+    own = lsdb.get(origin)
+    if own is None:
+        return {}
+    dist, first_hops = dijkstra(origin, lsdb)
+    return aggregate_routes(
+        origin, frozenset(own.prefixes), lsdb.all(), dist, first_hops
+    )

@@ -1,4 +1,4 @@
-"""Memoized SPF: the single biggest repeated computation in the repo.
+"""Memoized + incremental SPF: the biggest repeated computation here.
 
 :func:`repro.routing.spf.compute_routes` is a pure function of the
 two-way neighbor graph plus advertised prefixes — LSA sequence numbers
@@ -7,11 +7,22 @@ digests exactly that routing-relevant content, so ``(origin,
 fingerprint)`` is a sound cache key: equal keys provably yield equal
 route tables.
 
+The cache stores the full :class:`~repro.routing.spf_incremental.
+SpfState` (distances + ECMP first hops + routes), not just the route
+table, and that makes misses cheap too: when an origin's previous state
+is still resident and the fingerprint transition is a single link
+up/down, the new state is **patched incrementally** from the old one
+instead of recomputed from scratch (see :mod:`repro.routing.
+spf_incremental`; falls back to a full Dijkstra on structural changes).
+Under a failure storm — the paper's motivating regime — nearly every
+transition is a single-edge delta, so the per-switch SPF cost drops from
+O(V log V + E) to the size of the affected subtree.
+
 Three subsystems repeat identical SPF work and share this cache:
 
-* the distributed protocol (:mod:`repro.routing.linkstate`) — under a
-  failure storm every switch reruns SPF on seq-only LSA refreshes whose
-  fingerprints are unchanged;
+* the distributed protocol (:mod:`repro.routing.linkstate`) — via its
+  per-instance :class:`~repro.routing.spf_incremental.
+  IncrementalSpfEngine`, whose *full* computations land here;
 * the static verifier (:mod:`repro.verify`) — enumerating 16k+ failure
   sets, many of which collapse to the same surviving graph;
 * the convergence-agreement invariant (:mod:`repro.check.invariants`) —
@@ -20,20 +31,31 @@ Three subsystems repeat identical SPF work and share this cache:
 
 Determinism is unaffected by construction: a hit returns a dict *equal*
 to what :func:`compute_routes` would return (callers treat route tables
-as read-only — the protocol copies before exposing them).  Eviction is
-LRU over a deterministic access sequence, hence itself deterministic.
-The cache is per-process; campaign workers warm it across the trials of
-their chunk, and the 1-vs-N-worker byte-identity tests pin that sharing
-changes nothing observable.
+as read-only — the protocol copies before exposing them), and an
+incremental patch is differentially pinned equal to the from-scratch
+result by ``tests/test_spf_incremental.py``.  Eviction is LRU over a
+deterministic access sequence, hence itself deterministic.  The cache is
+per-process; campaign workers warm it across the trials of their chunk,
+and the 1-vs-N-worker byte-identity tests pin that sharing changes
+nothing observable.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from .lsdb import Lsdb
-from .spf import RouteTable, compute_routes
+from .spf import RouteTable
+from .spf_incremental import (
+    LINK_DOWN,
+    LINK_UP,
+    Fingerprint,
+    SpfState,
+    apply_single_edge,
+    classify_transition,
+    full_state,
+)
 
 #: default bound: a 40-switch grid trial needs ~40 entries per distinct
 #: surviving graph; 4096 comfortably covers a verifier enumeration sweep
@@ -73,46 +95,83 @@ class SpfCacheStats:
 
 
 class SpfCache:
-    """A bounded LRU memo for :func:`compute_routes`."""
+    """A bounded LRU memo for SPF states, incremental on single-edge misses."""
 
     def __init__(self, max_entries: int = _MAX_ENTRIES) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
-        self._store: "OrderedDict[_Key, RouteTable]" = OrderedDict()
+        self._store: "OrderedDict[_Key, SpfState]" = OrderedDict()
+        #: origin -> fingerprint of that origin's most recent state, the
+        #: incremental-patch candidate on the next miss for the origin
+        self._latest: Dict[str, Fingerprint] = {}
+        #: when False every miss takes the from-scratch path (the bench
+        #: harness and the differential tests flip this)
+        self.incremental = True
         #: lifetime counters (observability + the bench harness)
         self.hits = 0
         self.misses = 0
+        self.incremental_updates = 0
+        self.full_computes = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
-    def compute(self, origin: str, lsdb: Lsdb) -> RouteTable:
-        """``compute_routes(origin, lsdb)``, memoized.
+    def _miss(self, origin: str, lsdb: Lsdb, fingerprint: tuple) -> SpfState:
+        if self.incremental:
+            previous = self._previous_state(origin)
+            if previous is not None:
+                delta = classify_transition(previous.fingerprint, fingerprint)
+                if delta.kind in (LINK_DOWN, LINK_UP):
+                    patched = apply_single_edge(previous, fingerprint, delta)
+                    if patched is not None:
+                        self.incremental_updates += 1
+                        return patched[0]
+        self.full_computes += 1
+        return full_state(origin, lsdb)
 
-        The returned table is shared between callers and must be treated
-        as read-only.  Consumers that need deterministic accounting keep
+    def _previous_state(self, origin: str) -> Optional[SpfState]:
+        latest = self._latest.get(origin)
+        if latest is None:
+            return None
+        return self._store.get((origin, latest))
+
+    def compute_state(self, origin: str, lsdb: Lsdb) -> SpfState:
+        """The full SPF state for ``(origin, lsdb)``, memoized.
+
+        The returned state is shared between callers and immutable by
+        convention.  Consumers that need deterministic accounting keep
         their own :class:`SpfCacheStats` and call :meth:`~SpfCacheStats.
         note` *before* this — never through it, so swapping the cache
         out (the fastpath differential tests do) cannot change what any
         consumer reports.
         """
-        key = (origin, lsdb.fingerprint())
+        fingerprint = lsdb.fingerprint()
+        key = (origin, fingerprint)
         store = self._store
-        routes = store.get(key)
-        if routes is not None:
+        state = store.get(key)
+        if state is not None:
             store.move_to_end(key)
             self.hits += 1
-            return routes
+            self._latest[origin] = fingerprint
+            return state
         self.misses += 1
-        routes = compute_routes(origin, lsdb)
-        store[key] = routes
+        state = self._miss(origin, lsdb, fingerprint)
+        store[key] = state
+        self._latest[origin] = fingerprint
         if len(store) > self._max_entries:
-            store.popitem(last=False)
-        return routes
+            evicted_key, _ = store.popitem(last=False)
+            if self._latest.get(evicted_key[0]) == evicted_key[1]:
+                del self._latest[evicted_key[0]]
+        return state
+
+    def compute(self, origin: str, lsdb: Lsdb) -> RouteTable:
+        """``compute_routes(origin, lsdb)``, memoized + incremental."""
+        return self.compute_state(origin, lsdb).routes
 
     def clear(self) -> None:
         self._store.clear()
+        self._latest.clear()
 
 
 #: the process-wide shared instance (protocol, verifier, and checker all
@@ -121,5 +180,6 @@ shared_spf_cache = SpfCache()
 
 
 def compute_routes_cached(origin: str, lsdb: Lsdb) -> RouteTable:
-    """Drop-in memoized :func:`compute_routes` over the shared cache."""
+    """Drop-in memoized :func:`~repro.routing.spf.compute_routes` over
+    the shared cache."""
     return shared_spf_cache.compute(origin, lsdb)

@@ -231,6 +231,15 @@ class Simulator:
         pop = _heappop
         done = _DONE
         try:
+            # Every path drains *batches*: after executing one event, all
+            # further events sharing its timestamp run in an inner loop
+            # that skips the clock store and the ``until`` boundary check
+            # (times are equal, so both are already decided).  Execution
+            # order is untouched — the inner loop pops from the same heap
+            # the outer loop would, including events a callback schedules
+            # *at* the current instant (delay-0 cascades stay in batch).
+            # Failure storms make these batches big: detection, flooding,
+            # and delivery events pile onto shared timestamps.
             if not enabled and max_events is None and until is None:
                 # drain-to-empty fast path (the most common call shape):
                 # pop-first — no head peek, no boundary check, zero
@@ -241,10 +250,20 @@ class Simulator:
                     if callback is None:
                         self._cancelled_pending -= 1
                         continue
-                    self._now = entry[0]
+                    now = entry[0]
+                    self._now = now
                     entry[3] = done
                     callback(*entry[4])
                     executed += 1
+                    while queue and queue[0][0] == now:
+                        entry = pop(queue)
+                        callback = entry[3]
+                        if callback is None:
+                            self._cancelled_pending -= 1
+                            continue
+                        entry[3] = done
+                        callback(*entry[4])
+                        executed += 1
             elif enabled or max_events is not None:
                 if enabled:
                     executed_ctr = obs.metrics.counter("sim.events_executed")
@@ -263,18 +282,30 @@ class Simulator:
                         self._now = until
                         return
                     pop(queue)
-                    self._now = entry[0]
-                    entry[3] = done
-                    callback(*entry[4])
-                    executed += 1
-                    if enabled:
-                        executed_ctr.inc()
-                        depth_gauge.set(len(queue))
-                    if max_events is not None and executed >= max_events:
-                        return
+                    now = entry[0]
+                    self._now = now
+                    while True:
+                        entry[3] = done
+                        callback(*entry[4])
+                        executed += 1
+                        if enabled:
+                            executed_ctr.inc()
+                            depth_gauge.set(len(queue))
+                        if max_events is not None and executed >= max_events:
+                            return
+                        while queue and queue[0][0] == now:
+                            entry = pop(queue)
+                            callback = entry[3]
+                            if callback is not None:
+                                break
+                            self._cancelled_pending -= 1
+                            if enabled:
+                                cancelled_ctr.inc()
+                        else:
+                            break
             else:
                 # obs-disabled run-until path: one cancellation check,
-                # one boundary check, zero allocations per event
+                # one boundary check per timestamp, zero allocations
                 while queue:
                     entry = queue[0]
                     callback = entry[3]
@@ -286,10 +317,20 @@ class Simulator:
                         self._now = until
                         return
                     pop(queue)
-                    self._now = entry[0]
+                    now = entry[0]
+                    self._now = now
                     entry[3] = done
                     callback(*entry[4])
                     executed += 1
+                    while queue and queue[0][0] == now:
+                        entry = pop(queue)
+                        callback = entry[3]
+                        if callback is None:
+                            self._cancelled_pending -= 1
+                            continue
+                        entry[3] = done
+                        callback(*entry[4])
+                        executed += 1
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -14,9 +14,11 @@ from repro.check.invariants import FRR_WINDOW
 
 
 def test_every_invariant_has_a_mutant():
-    """The mutant layer covers the full catalog, one mutant per invariant."""
-    targeted = sorted(mutant.invariant for mutant in MUTANTS.values())
-    assert targeted == sorted(ALL_INVARIANTS)
+    """The mutant layer covers the full catalog: every invariant is the
+    target of at least one mutant (convergence-agreement has two — the
+    stale-flooding fault and the corrupted-incremental-SPF fault)."""
+    targeted = {mutant.invariant for mutant in MUTANTS.values()}
+    assert targeted == set(ALL_INVARIANTS)
 
 
 @pytest.mark.parametrize("name", sorted(MUTANTS))

@@ -191,8 +191,8 @@ def _disable_all_caches(monkeypatch):
     """Monkeypatch every hot-path cache back to its uncached reference."""
     from repro.dataplane.node import NetworkNode, SwitchNode
     from repro.routing.spf import compute_routes
+    from repro.routing.spf_incremental import IncrementalSpfEngine, full_state
     import repro.check.invariants
-    import repro.routing.linkstate
 
     def uncached_chain(self, address):
         # chain_hits/chain_misses are observable (telemetry cache tables),
@@ -235,8 +235,16 @@ def _disable_all_caches(monkeypatch):
     monkeypatch.setattr(NetworkNode, "neighbor_alive", neighbor_alive)
     monkeypatch.setattr(NetworkNode, "live_links_to", live_links_to)
     monkeypatch.setattr(SwitchNode, "_resolve_indexed", resolve_indexed)
+    # the protocol's SPF stack: force every run down the from-scratch
+    # path (no incremental patching) and bypass the shared SpfCache
+    # entirely (every computation is a fresh Dijkstra).  The engine's
+    # logical delta classification still runs, so EV_SPF_RUN trace
+    # attributes are untouched.
+    monkeypatch.setattr(IncrementalSpfEngine, "incremental_enabled", False)
     monkeypatch.setattr(
-        repro.routing.linkstate, "compute_routes_cached", compute_routes
+        IncrementalSpfEngine,
+        "_full_state",
+        lambda self, lsdb: full_state(self.origin, lsdb),
     )
     monkeypatch.setattr(
         repro.check.invariants, "compute_routes_cached", compute_routes

@@ -540,3 +540,240 @@ class TestTimer:
         timer.start(10)
         sim.run()
         assert fires == [10, 20, 30]
+
+
+class TestSameTimestampBatching:
+    """run() drains every event sharing a timestamp in one inner batch
+    (no clock re-store, no boundary re-check).  These tests pin that the
+    batching is invisible: ordering, cancellation bookkeeping,
+    ``max_events``, ``until``, and observability counters behave exactly
+    as the unbatched per-event loop did."""
+
+    def test_delay_zero_cascade_stays_in_batch_order(self):
+        """Events scheduled *at* the current instant from inside a batch
+        join the same batch, in (priority, sequence) heap order."""
+        sim = Simulator()
+        order = []
+
+        def head():
+            order.append(("head", sim.now))
+            sim.schedule(0, order.append, ("cascade-normal", sim.now))
+            sim.schedule(
+                0, order.append, ("cascade-control", sim.now),
+                priority=PRIORITY_CONTROL,
+            )
+
+        sim.schedule(10, head)
+        sim.schedule(10, order.append, ("sibling", 10))
+        sim.schedule(20, order.append, ("later", 20))
+        sim.run()
+        # pure (time, priority, sequence) heap order, exactly as the
+        # unbatched loop would pop: the control-priority cascade overtakes
+        # the normal-priority sibling, the normal cascade queues behind it
+        assert order == [
+            ("head", 10),
+            ("cascade-control", 10),
+            ("sibling", 10),
+            ("cascade-normal", 10),
+            ("later", 20),
+        ]
+
+    def test_cancelled_mid_batch_entries_are_skipped_exactly(self):
+        sim = Simulator()
+        order = []
+        handles = [sim.schedule(10, order.append, tag) for tag in range(6)]
+        handles[2].cancel()
+        handles[3].cancel()
+        sim.run()
+        assert order == [0, 1, 4, 5]
+        assert sim.pending_events == 0
+        assert sim.events_processed == 4
+
+    def test_head_cancelling_rest_of_its_batch(self):
+        """A batch member cancelling later same-timestamp events must
+        keep ``_cancelled_pending`` exact through the inner drain."""
+        sim = Simulator()
+        order = []
+        later = []
+
+        def head():
+            order.append("head")
+            for handle in later:
+                handle.cancel()
+
+        sim.schedule(10, head)
+        later.extend(sim.schedule(10, order.append, t) for t in range(3))
+        sim.schedule(20, order.append, "next-ts")
+        sim.run()
+        assert order == ["head", "next-ts"]
+        assert sim.pending_events == 0
+
+    def test_max_events_stops_inside_a_batch(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(10, order.append, tag)
+        sim.run(max_events=3)
+        assert order == [0, 1, 2]
+        assert sim.events_processed == 3
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_until_boundary_respected_around_batches(self):
+        sim = Simulator()
+        order = []
+        for tag in range(3):
+            sim.schedule(10, order.append, ("a", tag))
+        for tag in range(3):
+            sim.schedule(20, order.append, ("b", tag))
+        sim.run(until=20)
+        assert order == [("a", 0), ("a", 1), ("a", 2)]
+        assert sim.now == 20
+        sim.run(until=21)
+        assert order[3:] == [("b", 0), ("b", 1), ("b", 2)]
+
+    def test_obs_enabled_batch_counts_every_event(self):
+        from repro.obs import Observability
+
+        sim = Simulator(obs=Observability(enabled=True))
+        for _ in range(4):
+            sim.schedule(10, lambda: None)
+        cancelled = sim.schedule(10, lambda: None)
+        cancelled.cancel()
+        sim.schedule(30, lambda: None)
+        sim.run(until=20)
+        snapshot = sim.obs.metrics.snapshot()
+        assert snapshot["sim.events_executed"] == 4
+        assert snapshot["sim.cancelled_skipped"] == 1
+        assert sim.events_processed == 4
+
+    def test_step_semantics_unchanged_by_batching(self):
+        """step() still executes exactly one event even when several
+        share the head timestamp."""
+        sim = Simulator()
+        order = []
+        for tag in range(3):
+            sim.schedule(10, order.append, tag)
+        assert sim.step() is True
+        assert order == [0]
+        assert sim.now == 10
+        sim.run()
+        assert order == [0, 1, 2]
+
+
+def _unbatched_run(self, until=None, max_events=None):
+    """The per-event reference loop (no same-timestamp batch draining):
+    clock store and boundary check on every single event.  Semantically
+    the engine before batching; the differential below pins that batching
+    changed nothing observable."""
+    from repro.sim.engine import _DONE, SimulationError as SimError, _heappop
+
+    if self._running:
+        raise SimError("simulator is already running (re-entrant run())")
+    self._running = True
+    executed = 0
+    obs = self.obs
+    enabled = obs.enabled
+    queue = self._queue
+    pop = _heappop
+    done = _DONE
+    try:
+        if enabled:
+            executed_ctr = obs.metrics.counter("sim.events_executed")
+            cancelled_ctr = obs.metrics.counter("sim.cancelled_skipped")
+            depth_gauge = obs.metrics.gauge("sim.queue_depth")
+        while queue:
+            entry = queue[0]
+            callback = entry[3]
+            if callback is None:
+                pop(queue)
+                self._cancelled_pending -= 1
+                if enabled:
+                    cancelled_ctr.inc()
+                continue
+            if until is not None and entry[0] >= until:
+                self._now = until
+                return
+            pop(queue)
+            self._now = entry[0]
+            entry[3] = done
+            callback(*entry[4])
+            executed += 1
+            if enabled:
+                executed_ctr.inc()
+                depth_gauge.set(len(queue))
+            if max_events is not None and executed >= max_events:
+                return
+        if until is not None and until > self._now:
+            self._now = until
+    finally:
+        self._events_processed += executed
+        self._running = False
+
+
+class TestBatchingDifferential:
+    """Batched vs. per-event draining must be observably identical."""
+
+    @given(st.data())
+    def test_random_workload_equivalence(self, data):
+        """Random schedules (heavy timestamp collisions, cancellations,
+        delay-0 cascades) fire in the identical order with identical
+        final state under both loops."""
+        ops = data.draw(st.lists(
+            st.tuples(
+                st.integers(0, 5),       # coarse delay -> many collisions
+                st.integers(0, 20),      # priority
+                st.booleans(),           # cancel this one later?
+                st.booleans(),           # cascade: schedule another at now
+            ),
+            min_size=1, max_size=30,
+        ), label="ops")
+
+        def execute(run_impl):
+            sim = Simulator()
+            order = []
+            cancellable = []
+
+            def fire(tag, cascade):
+                order.append((tag, sim.now))
+                if cascade:
+                    sim.schedule(0, order.append, (tag, "cascade", sim.now))
+
+            for tag, (delay, priority, cancel, cascade) in enumerate(ops):
+                handle = sim.schedule(
+                    delay, fire, tag, cascade, priority=priority
+                )
+                if cancel:
+                    cancellable.append(handle)
+            for handle in cancellable:
+                handle.cancel()
+            run_impl(sim)
+            return order, sim.now, sim.events_processed, sim.pending_events
+
+        batched = execute(lambda sim: sim.run())
+        unbatched = execute(lambda sim: _unbatched_run(sim))
+        assert batched == unbatched
+
+    def test_recovery_trial_trace_identical_without_batching(self, monkeypatch):
+        """A full traced recovery check produces byte-identical traces,
+        spans, stats, and violations with batching monkeypatched off."""
+        import json
+
+        from repro.check.config import TrialConfig, fast_overrides
+        from repro.check.execute import execute_check
+
+        config = TrialConfig(
+            "f2tree", 6, profile="scenario", scenario="C3",
+            overrides=fast_overrides(), warmup=milliseconds(500),
+        )
+        batched = execute_check(config, traced=True)
+        with monkeypatch.context() as patches:
+            patches.setattr(Simulator, "run", _unbatched_run)
+            unbatched = execute_check(config, traced=True)
+
+        assert batched.violations == unbatched.violations == []
+        assert batched.stats == unbatched.stats
+        assert json.dumps(batched.trace, sort_keys=True) == \
+            json.dumps(unbatched.trace, sort_keys=True)
+        assert json.dumps(batched.spans, sort_keys=True) == \
+            json.dumps(unbatched.spans, sort_keys=True)

@@ -1,0 +1,363 @@
+"""Differential validation of incremental SPF against the from-scratch oracle.
+
+The incremental engine (:mod:`repro.routing.spf_incremental`) and the
+incremental-on-miss shared cache (:mod:`repro.routing.spf_cache`) are pure
+speedups: every patched state must equal what a full Dijkstra computes.
+This file pins that equivalence at three levels:
+
+1. **State equality under churn** (hypothesis) — random sequences of link
+   fail/restore events on all four topology families (f2tree, fat-tree,
+   leaf-spine, VL2): after every LSDB delta, each switch's incremental
+   ``(dist, first_hops, routes)`` equals :func:`full_state` /
+   :func:`compute_routes`, including multi-edge batches and advertisement
+   changes that exercise the structural-fallback path.
+2. **Classification** — the logical delta taxonomy (refresh / cosmetic /
+   link-down / link-up / structural) matches the actual fingerprint
+   transition, and the force-disabled engine reports the *same* taxonomy
+   (the trace attribute cannot depend on whether the fast path executed).
+3. **Whole-system traces** — a full recovery check trial with the
+   incremental path force-disabled everywhere produces a byte-identical
+   obs trace: no observable behaviour depends on incrementalism.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.f2tree import f2tree
+from repro.net.ip import Prefix
+from repro.routing.lsdb import Lsa, Lsdb
+from repro.routing.spf import compute_routes
+from repro.routing.spf_cache import SpfCache
+from repro.routing.spf_incremental import (
+    COSMETIC,
+    INITIAL,
+    LINK_DOWN,
+    LINK_UP,
+    REFRESH,
+    STRUCTURAL,
+    IncrementalSpfEngine,
+    SpfDelta,
+    apply_single_edge,
+    classify_transition,
+    full_state,
+)
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import NodeKind
+from repro.topology.leafspine import leaf_spine
+from repro.topology.vl2 import vl2
+
+# ------------------------------------------------------------ environments
+
+_FAMILIES = {
+    "f2tree": lambda: f2tree(6, hosts_per_tor=1),
+    "fat-tree": lambda: fat_tree(4),
+    "leaf-spine": lambda: leaf_spine(4, 3, hosts_per_leaf=1),
+    "vl2": lambda: vl2(4, 4, hosts_per_tor=1),
+}
+
+_ENVS: dict = {}
+
+
+def _environment(family: str):
+    """Switch adjacency + advertised prefixes for one topology family
+    (built once; examples only read it)."""
+    env = _ENVS.get(family)
+    if env is not None:
+        return env
+    topo = _FAMILIES[family]()
+    switches = sorted(n.name for n in topo.switches())
+    adjacency = {name: set() for name in switches}
+    for link in topo.links.values():
+        if link.a in adjacency and link.b in adjacency:
+            adjacency[link.a].add(link.b)
+            adjacency[link.b].add(link.a)
+    prefixes = {
+        t.name: (t.subnet,) for t in topo.tors() if t.subnet is not None
+    }
+    edges = sorted(
+        {tuple(sorted((a, b))) for a in adjacency for b in adjacency[a]}
+    )
+    env = {
+        "switches": switches,
+        "adjacency": adjacency,
+        "prefixes": prefixes,
+        "edges": edges,
+    }
+    _ENVS[family] = env
+    return env
+
+
+def _lsdb(env, down: set, extra_prefixes: dict, seq: int) -> Lsdb:
+    db = Lsdb()
+    for name in env["switches"]:
+        neighbors = tuple(sorted(
+            peer for peer in env["adjacency"][name]
+            if tuple(sorted((name, peer))) not in down
+        ))
+        prefs = env["prefixes"].get(name, ())
+        prefs = prefs + tuple(extra_prefixes.get(name, ()))
+        db.insert(Lsa(origin=name, seq=seq, neighbors=neighbors, prefixes=prefs))
+    return db
+
+
+def _assert_equals_oracle(engines, cache, db, context):
+    for name, engine in engines.items():
+        oracle = compute_routes(name, db)
+        routes, report = engine.compute(db)
+        assert routes == oracle, (context, name, report)
+        reference = full_state(name, db)
+        state = engine.state
+        assert state.dist == reference.dist, (context, name, report)
+        assert state.first_hops == reference.first_hops, (context, name, report)
+        assert cache.compute(name, db) == oracle, (context, name)
+
+
+# -------------------------------------------- 1. state equality under churn
+
+#: one churn step: flip 1 link (incremental), flip a batch (fallback), or
+#: toggle an extra advertised prefix (structural fallback)
+_STEP = st.one_of(
+    st.tuples(st.just("flip"), st.integers(0, 10_000)),
+    st.tuples(st.just("batch"), st.integers(0, 10_000), st.integers(2, 3)),
+    st.tuples(st.just("advertise"), st.integers(0, 10_000)),
+)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    family=st.sampled_from(sorted(_FAMILIES)),
+    steps=st.lists(_STEP, min_size=1, max_size=8),
+)
+def test_incremental_equals_full_spf_under_churn(family, steps):
+    env = _environment(family)
+    engines = {s: IncrementalSpfEngine(s) for s in env["switches"]}
+    cache = SpfCache()
+    seq = itertools.count(1)
+    down: set = set()
+    extra: dict = {}
+
+    db = _lsdb(env, down, extra, next(seq))
+    _assert_equals_oracle(engines, cache, db, (family, "initial"))
+
+    for index, step in enumerate(steps):
+        if step[0] == "flip":
+            edge = env["edges"][step[1] % len(env["edges"])]
+            down.symmetric_difference_update({edge})
+        elif step[0] == "batch":
+            _, pick, count = step
+            for offset in range(count):
+                edge = env["edges"][(pick + offset * 7) % len(env["edges"])]
+                down.symmetric_difference_update({edge})
+        else:
+            name = env["switches"][step[1] % len(env["switches"])]
+            if name in extra:
+                del extra[name]
+            else:
+                extra[name] = (Prefix(0x0B000000 + (step[1] % 200) * 256, 24),)
+        db = _lsdb(env, down, extra, next(seq))
+        _assert_equals_oracle(engines, cache, db, (family, index, step))
+
+
+def test_cache_incremental_disabled_equals_enabled():
+    """SpfCache.incremental=False must change speed only, never results."""
+    env = _environment("f2tree")
+    plain = SpfCache()
+    plain.incremental = False
+    incremental = SpfCache()
+    seq = itertools.count(1)
+    down: set = set()
+    for edge in env["edges"][:6]:
+        down.symmetric_difference_update({edge})
+        db = _lsdb(env, down, {}, next(seq))
+        for name in env["switches"]:
+            assert incremental.compute(name, db) == plain.compute(name, db)
+    assert incremental.incremental_updates > 0
+    assert plain.incremental_updates == 0
+
+
+def test_cache_eviction_keeps_results_correct():
+    """A tiny cache evicts incremental candidates; results stay exact."""
+    env = _environment("leaf-spine")
+    cache = SpfCache(max_entries=3)
+    seq = itertools.count(1)
+    down: set = set()
+    for edge in env["edges"][:5]:
+        down.symmetric_difference_update({edge})
+        db = _lsdb(env, down, {}, next(seq))
+        for name in env["switches"]:
+            assert cache.compute(name, db) == compute_routes(name, db)
+    assert len(cache) <= 3
+
+
+# --------------------------------------------------------- 2. classification
+
+
+def _fingerprint(env, down, extra, seq=1):
+    return _lsdb(env, down, extra, seq).fingerprint()
+
+
+def test_classification_taxonomy():
+    env = _environment("f2tree")
+    base = _fingerprint(env, set(), {})
+    edge = env["edges"][0]
+
+    # seq-only refresh: identical fingerprint
+    assert classify_transition(base, base).kind == REFRESH
+    # single link down / back up
+    one_down = _fingerprint(env, {edge}, {})
+    assert classify_transition(base, one_down) == SpfDelta(LINK_DOWN, edge)
+    assert classify_transition(one_down, base) == SpfDelta(LINK_UP, edge)
+    # two links at once: structural fallback
+    two_down = _fingerprint(env, set(env["edges"][:2]), {})
+    assert classify_transition(base, two_down).kind == STRUCTURAL
+    # advertisement change: structural fallback
+    advertised = _fingerprint(
+        env, set(), {env["switches"][0]: (Prefix(0x0B000000, 24),)}
+    )
+    assert classify_transition(base, advertised).kind == STRUCTURAL
+
+
+def test_cosmetic_transition_detected():
+    """The *second* endpoint of a failed link re-originating is cosmetic:
+    the first endpoint's withdrawal already removed the two-way edge, so
+    the straggler's update changes the fingerprint but not the graph."""
+    env = _environment("f2tree")
+    a, b = env["edges"][0]
+    db = _lsdb(env, set(), {}, 1)
+    base = db.fingerprint()
+
+    def drop(source_fp, origin, peer, seq):
+        out = Lsdb()
+        for node, neighbors, prefixes in source_fp:
+            if node == origin:
+                neighbors = tuple(p for p in neighbors if p != peer)
+            out.insert(Lsa(origin=node, seq=seq, neighbors=neighbors,
+                           prefixes=prefixes))
+        return out
+
+    half = drop(base, a, b, seq=2)        # a withdrew b: two-way edge gone
+    both = drop(half.fingerprint(), b, a, seq=3)  # b catches up: no-op graph
+    assert classify_transition(base, half.fingerprint()) == \
+        SpfDelta(LINK_DOWN, (a, b))
+    delta = classify_transition(half.fingerprint(), both.fingerprint())
+    assert delta.kind == COSMETIC
+
+    origin = env["switches"][0]
+    engine = IncrementalSpfEngine(origin)
+    _, report = engine.compute(db)
+    assert report.delta == INITIAL
+    mid, report = engine.compute(half)
+    assert report.delta == LINK_DOWN
+    final, report = engine.compute(both)
+    assert report.delta == COSMETIC
+    assert mid == final == compute_routes(origin, both)
+
+
+def test_report_taxonomy_is_execution_independent():
+    """Force-disabling the incremental path must not change the reported
+    delta kinds — they feed byte-identical traces."""
+    env = _environment("fat-tree")
+    seq = itertools.count(1)
+    scripts = []
+    down: set = set()
+    for edge in env["edges"][:4]:
+        down.symmetric_difference_update({edge})
+        scripts.append(_lsdb(env, down, {}, next(seq)))
+
+    def run(enabled):
+        engine = IncrementalSpfEngine(env["switches"][0])
+        engine.incremental_enabled = enabled
+        out = []
+        for db in scripts:
+            routes, report = engine.compute(db)
+            out.append((routes, report.delta, report.edge))
+        return out
+
+    fast, slow = run(True), run(False)
+    assert fast == slow
+    assert [kind for _, kind, _ in fast][:1] == [INITIAL]
+    assert LINK_DOWN in {kind for _, kind, _ in fast}
+
+
+def test_fallback_paths_return_none():
+    """apply_single_edge refuses what it cannot patch (caller falls back)."""
+    env = _environment("f2tree")
+    origin = env["switches"][0]
+    db = _lsdb(env, set(), {}, 1)
+    state = full_state(origin, db)
+    fp2 = _fingerprint(env, {env["edges"][0]}, {}, seq=2)
+    # no edge recorded -> not patchable
+    assert apply_single_edge(state, fp2, SpfDelta(STRUCTURAL)) is None
+    # empty previous state -> not patchable
+    empty = full_state("not-a-switch", db)
+    assert apply_single_edge(
+        empty, fp2, SpfDelta(LINK_DOWN, env["edges"][0])
+    ) is None
+
+
+def test_engine_refresh_reuses_state():
+    env = _environment("vl2")
+    origin = env["switches"][0]
+    engine = IncrementalSpfEngine(origin)
+    db1 = _lsdb(env, set(), {}, 1)
+    db2 = _lsdb(env, set(), {}, 2)  # seq bump only: same fingerprint
+    first, report1 = engine.compute(db1)
+    second, report2 = engine.compute(db2)
+    assert report1.delta == INITIAL
+    assert report2.delta == REFRESH
+    assert first is second  # the exact same table object is reused
+
+
+# ------------------------------------------------ 3. whole-system trace
+
+
+def test_recovery_trace_identical_with_incremental_disabled(monkeypatch):
+    """A full recovery trial must emit the byte-identical obs trace, the
+    same violations, and the same stats whether incremental SPF runs or
+    every computation is forced from scratch (engine *and* cache)."""
+    from repro.check.config import TrialConfig, fast_overrides
+    from repro.check.execute import execute_check
+    from repro.sim.units import milliseconds
+
+    config = TrialConfig(
+        "f2tree", 6, profile="scenario", scenario="C1",
+        overrides=fast_overrides(), warmup=milliseconds(500),
+    )
+    fast = execute_check(config, traced=True)
+
+    with monkeypatch.context() as patches:
+        patches.setattr(IncrementalSpfEngine, "incremental_enabled", False)
+        patches.setattr(
+            IncrementalSpfEngine,
+            "_full_state",
+            lambda self, lsdb: full_state(self.origin, lsdb),
+        )
+        import repro.routing.spf_cache as spf_cache_module
+
+        pristine = SpfCache()
+        pristine.incremental = False
+        patches.setattr(spf_cache_module, "shared_spf_cache", pristine)
+        patches.setattr(
+            spf_cache_module, "compute_routes_cached", pristine.compute
+        )
+        import repro.check.invariants
+
+        patches.setattr(
+            repro.check.invariants, "compute_routes_cached", pristine.compute
+        )
+        slow = execute_check(config, traced=True)
+
+    assert fast.violations == slow.violations == []
+    assert fast.stats == slow.stats
+    assert json.dumps(fast.trace, sort_keys=True) == \
+        json.dumps(slow.trace, sort_keys=True)
+    assert json.dumps(fast.spans, sort_keys=True) == \
+        json.dumps(slow.spans, sort_keys=True)

@@ -166,11 +166,13 @@ def test_dynamic_fault_has_a_static_twin(dynamic_name):
 
 
 def test_behavioural_faults_have_no_static_twin():
-    """Protocol-behaviour faults (flooding, detection, channel loss) are
-    invisible to a model of installed state — deliberately unmapped."""
+    """Protocol-behaviour faults (flooding, detection, channel loss,
+    corrupted incremental recomputation) are invisible to a model of
+    installed state — deliberately unmapped."""
     unmapped = set(DYNAMIC_MUTANTS) - set(CHECK_EQUIVALENTS)
     assert unmapped == {
         "lsa-flood-dropped", "detection-disabled", "channel-leak",
+        "spf-incremental-corrupted",
     }
 
 
