@@ -14,7 +14,12 @@ same thing on any hardware:
 * same-timestamp batching:  >= 1.8x the naive loop (lower floor by
   construction: timestamp ties cost the optimized list entries extra
   element compares while the dataclass reference always paid full
-  tuple construction — see ``bench_event_batch``'s docstring).
+  tuple construction — see ``bench_event_batch``'s docstring),
+* fluid backend at k=32:    >= 10x the packet backend's extrapolated
+  cost (the ISSUE's scale-win acceptance bar; the extrapolation is
+  deliberately conservative — see ``bench_flow_backend``'s docstring —
+  so the measured ~50x leaves real margin), and the k=32 fluid trial
+  itself must finish inside its absolute wall-clock budget.
 
 The absolute events/packets/tables per second land in
 ``BENCH_hotpath.json`` at the repo root — the committed copy is the
@@ -35,7 +40,7 @@ BENCH_FILE = pathlib.Path(__file__).parent.parent / "BENCH_hotpath.json"
 RATIO_FLOOR = 3.0
 
 #: per-section overrides of the default floor
-RATIO_FLOORS = {"event_batch": 1.8}
+RATIO_FLOORS = {"event_batch": 1.8, "flow_backend": 10.0}
 
 #: a section below the floor is re-measured this many extra times (a
 #: noisy-neighbor CI box can depress one sample; a real regression
@@ -62,9 +67,9 @@ def test_bench_hotpath(emit):
 
     BENCH_FILE.write_text(to_json(result))
 
-    ev, eb, fw, spf, inc = (
+    ev, eb, fw, spf, inc, flow = (
         result["event_loop"], result["event_batch"], result["forwarding"],
-        result["spf"], result["spf_incremental"],
+        result["spf"], result["spf_incremental"], result["flow_backend"],
     )
     emit(
         "Hot-path throughput (optimized vs in-harness naive reference):\n"
@@ -81,6 +86,11 @@ def test_bench_hotpath(emit):
         f"full-SPF {inc['naive_sps']:>7,}/s  -> {inc['ratio']:.1f}x "
         f"({inc['incremental_updates']:,} incremental, "
         f"{inc['full_computes']:,} full)\n"
+        f"  fluid k=32: {flow['flow_s']:.1f}s measured vs "
+        f"{flow['projected_packet_s']:.0f}s projected packet "
+        f"-> {flow['ratio']:.1f}x "
+        f"(events^{flow['fit_exponent']:.2f} fit, "
+        f"budget {flow['budget_s']:.0f}s)\n"
         f"  recorded in {BENCH_FILE.name}"
     )
 
@@ -90,3 +100,7 @@ def test_bench_hotpath(emit):
             f"{_floor(section)}x acceptance floor\n"
             + json.dumps(result[section], indent=2)
         )
+    assert flow["within_budget"], (
+        f"flow_backend: the k={flow['target_ports']} fluid trial took "
+        f"{flow['flow_s']}s, over the {flow['budget_s']}s budget"
+    )

@@ -207,14 +207,17 @@ def run_congestion_trial(
 def run_check_trial(
     ctx: TrialContext,
     index: int = 0,
+    backend: str = "packet",
     **params: Any,
 ) -> Dict[str, Any]:
     """One fuzzed invariant-check trial.
 
     ``index`` only differentiates trial ids inside a campaign; the
-    drawn configuration is a pure function of the trial seed.  The
-    payload embeds the full config so a violating trial can be shrunk
-    and bundled without re-deriving anything.
+    drawn configuration is a pure function of the trial seed.
+    ``backend`` pins the simulation backend onto the drawn config (the
+    same seed fuzzes either data plane).  The payload embeds the full
+    config so a violating trial can be shrunk and bundled without
+    re-deriving anything.
     """
     from ..check.config import generate_config
     from ..check.execute import execute_check
@@ -222,6 +225,8 @@ def run_check_trial(
     if params:
         raise CampaignError(f"unknown check trial parameters: {sorted(params)}")
     config = generate_config(ctx.seed)
+    if backend != "packet":
+        config = config.with_backend(backend)
     outcome = execute_check(config)
     # the check runs in its own simulator (its own obs facade); copy the
     # deterministic cache counters over so campaign cache hit-rate tables
@@ -246,6 +251,40 @@ def run_check_trial(
         "n_violations": len(outcome.violations),
         "invariants": outcome.invariants_violated,
         "violations": [v.to_dict() for v in outcome.violations],
+        "config": config.to_dict(),
+    }
+
+
+@register_trial("diff")
+def run_diff_trial(
+    ctx: TrialContext,
+    index: int = 0,
+    tolerance: int = 10,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One cross-backend differential trial: the seed's fuzzed config is
+    executed on the packet *and* flow backends and compared
+    (:func:`repro.check.differential.run_differential`); a campaign of
+    ``diff`` trials is a reproducible backend-agreement fuzzing run."""
+    from ..check.config import generate_config
+    from ..check.differential import run_differential
+
+    if params:
+        raise CampaignError(f"unknown diff trial parameters: {sorted(params)}")
+    config = generate_config(ctx.seed)
+    result = run_differential(config, tolerance=tolerance)
+    return {
+        "index": index,
+        "topology": config.topology,
+        "ports": config.ports,
+        "profile": config.profile,
+        "scenario": config.scenario,
+        "agree": result.ok,
+        "disagreement_kinds": list(result.kinds),
+        "disagreements": result.disagreements,
+        "probes_packet": result.packet.stats["probes_received"],
+        "probes_flow": result.flow.stats["probes_received"],
+        "invariants": result.packet.invariants_violated,
         "config": config.to_dict(),
     }
 

@@ -54,8 +54,9 @@ class TrialConfig:
     #: Table IV label (C1..C7) when ``profile == 'scenario'``
     scenario: Optional[str] = None
     seed: int = 1
-    #: sorted ``(field, value)`` NetworkParams overrides
-    overrides: Tuple[Tuple[str, int], ...] = ()
+    #: sorted ``(field, value)`` NetworkParams overrides (values are the
+    #: field's own type — ints for timers, ``str`` for ``backend``)
+    overrides: Tuple[Tuple[str, Any], ...] = ()
     #: failure/recovery events when ``profile == 'events'``
     events: Tuple[EventTuple, ...] = ()
     warmup: Time = field(default=seconds(1))
@@ -117,6 +118,16 @@ class TrialConfig:
 
     def with_events(self, events: Tuple[EventTuple, ...]) -> "TrialConfig":
         return replace(self, profile="events", scenario=None, events=events)
+
+    def with_backend(self, backend: str) -> "TrialConfig":
+        """The same trial pinned to ``backend`` (packet/flow) — the
+        differential harness runs a config through both."""
+        kept = tuple(
+            (name, value) for name, value in self.overrides if name != "backend"
+        )
+        return replace(
+            self, overrides=tuple(sorted(kept + (("backend", backend),)))
+        )
 
 
 def build_topology(config: TrialConfig) -> Topology:

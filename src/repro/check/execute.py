@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..dataplane.network import Network
 from ..failures.injector import FailureEvent, schedule_failures
 from ..failures.scenarios import build_scenario
-from ..net.packet import PROTO_UDP
+from ..net.packet import PROTO_UDP, WIRE_OVERHEAD
 from ..obs import Observability
 from ..sim.engine import PRIORITY_NORMAL, SimulationError, Simulator
 from ..sim.units import Time, milliseconds
@@ -116,6 +116,10 @@ class CheckOutcome:
     trace: Optional[List[Dict[str, Any]]] = None
     #: causal span tree of the traced run (flight-recorder payload)
     spans: Optional[Dict[str, Any]] = None
+    #: post-quiescence FIBs when executed with ``capture_fibs=True``:
+    #: switch -> {prefix: sorted next hops} (not serialized into replay
+    #: bundles — the differential harness compares them in memory)
+    fibs: Optional[Dict[str, Dict[str, List[str]]]] = None
 
     @property
     def invariants_violated(self) -> List[str]:
@@ -142,12 +146,22 @@ def execute_check(
     config: TrialConfig,
     mutant=None,
     traced: bool = False,
+    capture_fibs: bool = False,
 ) -> CheckOutcome:
     """Run one trial and evaluate the full invariant catalog.
 
     ``mutant`` (a :class:`~repro.check.mutants.FaultMutant`) seeds a
     deliberate fault into the system under test before events fire;
-    ``traced`` attaches an unbounded obs trace for replay bundles.
+    ``traced`` attaches an unbounded obs trace for replay bundles;
+    ``capture_fibs`` snapshots every switch's post-quiescence FIB into
+    :attr:`CheckOutcome.fibs` for cross-backend comparison.
+
+    The trial honors ``backend`` from the config's overrides: with
+    ``backend=flow`` the probe traffic is a fluid CBR flow on the
+    bundle's :class:`~repro.sim.flow.FluidTrafficModel` instead of
+    discrete UDP packets — every invariant is evaluated through
+    ``trace_route`` against live FIB/detection state, so the catalog is
+    identical across backends.
     """
     from ..experiments.common import build_bundle, leftmost_host, rightmost_host
 
@@ -199,13 +213,21 @@ def execute_check(
 
     # continuous probe traffic feeds the conservation invariant (and the
     # obs trace); it stops early enough that everything in flight drains
-    sender = UdpSender(
-        sim, bundle.network.host(src), bundle.network.host(dst).ip,
-        PROBE_DPORT, sport=PROBE_SPORT, payload_bytes=200,
-        interval=milliseconds(1),
-    )
-    sink = UdpSink(sim, bundle.network.host(dst), PROBE_DPORT)
-    sender.start(at=config.warmup, stop_at=horizon - milliseconds(10))
+    probe_flow = None
+    if params.backend == "flow":
+        probe_flow = bundle.flow_model.add_cbr_flow(
+            "check-probe", src, dst, dport=PROBE_DPORT, sport=PROBE_SPORT,
+            packet_bytes=200 + WIRE_OVERHEAD, interval=milliseconds(1),
+            start=config.warmup, stop=horizon - milliseconds(10),
+        )
+    else:
+        sender = UdpSender(
+            sim, bundle.network.host(src), bundle.network.host(dst).ip,
+            PROBE_DPORT, sport=PROBE_SPORT, payload_bytes=200,
+            interval=milliseconds(1),
+        )
+        sink = UdpSink(sim, bundle.network.host(dst), PROBE_DPORT)
+        sender.start(at=config.warmup, stop_at=horizon - milliseconds(10))
 
     # mid-convergence loop checks: at each event instant (right after the
     # topology change, before any detection) and again just past the
@@ -237,6 +259,8 @@ def execute_check(
 
     sim.run(until=horizon + milliseconds(1))
     suite.run_quiescent_checks()
+    if probe_flow is not None:
+        bundle.flow_model.finalize()
 
     # fold the fabric's FIB match-chain counters into the trial's metrics
     # so cache hit rates travel with the outcome (deterministic sums)
@@ -250,9 +274,13 @@ def execute_check(
         sim.obs.metrics.counter("fib.chain.misses").inc(chain_misses)
     snapshot = sim.obs.metrics.snapshot()
 
+    if probe_flow is not None:
+        probes_sent, probes_received = probe_flow.sent, probe_flow.received
+    else:
+        probes_sent, probes_received = sender.sent, sink.received
     stats: Dict[str, Any] = {
-        "probes_sent": sender.sent,
-        "probes_received": sink.received,
+        "probes_sent": probes_sent,
+        "probes_received": probes_received,
         "events_processed": sim.events_processed,
         "n_events": len(events),
         "checks": dict(sorted(suite.checks_run.items())),
@@ -264,6 +292,8 @@ def execute_check(
             "fib_chain": {"hits": chain_hits, "misses": chain_misses},
         },
     }
+    if probe_flow is not None:
+        stats["flow_model"] = bundle.flow_model.stats()
     trace = None
     spans = None
     if traced:
@@ -289,7 +319,24 @@ def execute_check(
         stats=stats,
         trace=trace,
         spans=spans,
+        fibs=snapshot_fibs(bundle.network) if capture_fibs else None,
     )
+
+
+def snapshot_fibs(network: Network) -> Dict[str, Dict[str, List[str]]]:
+    """Every switch's FIB as plain sorted strings, for exact comparison.
+
+    Next-hop *sets* are compared (sorted), not the ECMP tuple order —
+    both backends install from the same deterministic route computation,
+    but the comparison shouldn't depend on that implementation detail.
+    """
+    return {
+        switch.name: {
+            str(entry.prefix): sorted(str(hop) for hop in entry.next_hops)
+            for entry in switch.fib.entries()
+        }
+        for switch in network.switches()
+    }
 
 
 def concretize(config: TrialConfig) -> TrialConfig:

@@ -344,7 +344,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--selftest", action="store_true",
-        help="run the seeded fault-mutant matrix instead of fuzz trials",
+        help="run the seeded fault-mutant matrix (including the "
+        "cross-backend flow mutants) instead of fuzz trials",
+    )
+    check.add_argument(
+        "--backend", choices=("packet", "flow"), default="packet",
+        help="simulation backend for fuzz trials (default packet); "
+        "'flow' runs the fluid data plane on the same configs",
+    )
+    check.add_argument(
+        "--differential", type=int, default=None, metavar="N",
+        help="run N cross-backend differential trials (each fuzzed "
+        "config executed on both backends and compared) instead of "
+        "single-backend fuzzing",
     )
     bench = sub.add_parser(
         "bench",
@@ -589,12 +601,45 @@ def _cmd_check(args) -> int:
         print(detail)
         return 0 if reproduced else 1
     if args.selftest:
-        results = run_selftest()
+        from .check.differential import run_flow_selftest
+
+        results = run_selftest() + run_flow_selftest()
         print(render_selftest(results))
         return 0 if all(r.ok for r in results) else 1
 
+    if args.differential is not None:
+        specs = [
+            TrialSpec.make("diff", seed=None, timeout=args.timeout, index=i)
+            for i in range(max(0, args.differential))
+        ]
+        if not specs:
+            print("no differential trials requested", file=sys.stderr)
+            return 2
+        report = run_campaign(
+            specs,
+            name="diff",
+            workers=args.workers,
+            timeout=args.timeout,
+            campaign_seed=args.seed,
+        )
+        print(report.to_json() if args.json else report.render())
+        disagreeing = [
+            r for r in report.succeeded
+            if r.payload is not None and not r.payload.get("agree", True)
+        ]
+        for record in disagreeing:
+            print(
+                f"backend disagreement in {record.spec.trial_id}: "
+                f"{'; '.join(record.payload['disagreements'])}",
+                file=sys.stderr,
+            )
+        return 1 if (report.failed or disagreeing) else 0
+
     specs = [
-        TrialSpec.make("check", seed=None, timeout=args.timeout, index=i)
+        TrialSpec.make(
+            "check", seed=None, timeout=args.timeout, index=i,
+            backend=args.backend,
+        )
         for i in range(max(0, args.trials))
     ]
     if not specs:

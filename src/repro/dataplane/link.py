@@ -19,7 +19,7 @@ event handles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..net.packet import Packet
 from ..obs.trace import EV_LINK_DETECTED, EV_LINK_FAIL, EV_LINK_RESTORE
@@ -241,6 +241,10 @@ class RuntimeLink:
         self.node_b = node_b
         self.channel_ab = Channel(sim, params, node_a, node_b)
         self.channel_ba = Channel(sim, params, node_b, node_a)
+        #: observers of *actual* channel-state changes (the fluid
+        #: backend's recompute trigger — deliverability changes at the
+        #: failure instant, before any endpoint detects it)
+        self.state_listeners: List[Callable[[], None]] = []
         self._detectors = {
             node_a.name: _EndpointDetector(
                 sim, node_a, self._on_detected, params.detection_delay,
@@ -299,6 +303,7 @@ class RuntimeLink:
         obs.metrics.counter("link.failures").inc()
         obs.trace.emit(self._sim.now, EV_LINK_FAIL, self.name)
         self._sync_detectors()
+        self._notify_state()
 
     def restore(self) -> None:
         """Bring both directions back up."""
@@ -308,6 +313,7 @@ class RuntimeLink:
         obs.metrics.counter("link.restores").inc()
         obs.trace.emit(self._sim.now, EV_LINK_RESTORE, self.name)
         self._sync_detectors()
+        self._notify_state()
 
     def fail_direction(self, from_name: str) -> None:
         """Kill only the ``from_name`` -> peer direction (unidirectional)."""
@@ -318,6 +324,7 @@ class RuntimeLink:
             self._sim.now, EV_LINK_FAIL, self.name, direction=from_name
         )
         self._sync_detectors()
+        self._notify_state()
 
     def restore_direction(self, from_name: str) -> None:
         """Revive only the ``from_name`` -> peer direction."""
@@ -328,6 +335,11 @@ class RuntimeLink:
             self._sim.now, EV_LINK_RESTORE, self.name, direction=from_name
         )
         self._sync_detectors()
+        self._notify_state()
+
+    def _notify_state(self) -> None:
+        for listener in self.state_listeners:
+            listener()
 
     def _observable_up(self, node_name: str) -> bool:
         """What ``node_name``'s detection mechanism can currently see."""

@@ -83,6 +83,9 @@ class NetworkNode:
         #: peer -> liveness bool, valid for the current adjacency epoch
         self._alive_cache: Dict[str, bool] = {}
         self.drops: Counter = Counter()
+        #: observers of detected-adjacency changes (the fluid backend's
+        #: recompute trigger); called synchronously on every epoch bump
+        self.epoch_listeners: List[Callable[[], None]] = []
         #: handlers keyed by (protocol, local port); port 0 = any port
         self._handlers: Dict[tuple, PacketHandler] = {}
         #: taps invoked for every locally-delivered packet
@@ -101,6 +104,8 @@ class NetworkNode:
         self.adjacency_epoch += 1
         self._live_links_cache.clear()
         self._alive_cache.clear()
+        for listener in self.epoch_listeners:
+            listener()
 
     def live_links_to(self, peer: str) -> List[RuntimeLink]:
         """Links to ``peer`` this node currently believes are up.

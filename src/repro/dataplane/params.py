@@ -63,6 +63,12 @@ class NetworkParams:
     #: Wire size of one LSA packet.
     lsa_size_bytes: int = 120
 
+    #: Data-plane backend: "packet" simulates every packet as events;
+    #: "flow" computes per-flow throughput/FCT/loss analytically (max-min
+    #: fair share per link) while failures, detection, flooding, and
+    #: SPF/FIB convergence stay event-driven (see repro.sim.flow).
+    backend: str = "packet"
+
     def with_overrides(self, **changes) -> "NetworkParams":
         """A copy with the given fields replaced (ablation harness hook)."""
         return replace(self, **changes)

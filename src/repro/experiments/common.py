@@ -55,6 +55,9 @@ class Bundle:
     routing: str = "linkstate"
     #: the global controller when ``routing == 'centralized'``
     controller: Optional[CentralizedController] = None
+    #: the fluid data plane when ``params.backend == 'flow'``
+    #: (a :class:`repro.sim.flow.FluidTrafficModel`)
+    flow_model: Optional[object] = None
 
     def converge(self, until: Time = DEFAULT_WARMUP) -> None:
         """Run the control plane until the network has settled."""
@@ -98,6 +101,9 @@ def build_bundle(
     if sim is None:
         sim = Simulator(obs=obs)
     network = Network(topology, sim, params)
+    backend = network.params.backend
+    if backend not in ("packet", "flow"):
+        raise ValueError(f"unknown backend {backend!r} (use 'packet' or 'flow')")
     controller: Optional[CentralizedController] = None
     if routing == "linkstate":
         protocols: Dict[str, object] = dict(deploy_linkstate(network))
@@ -124,6 +130,13 @@ def build_bundle(
         if has_across
         else None
     )
+    flow_model = None
+    if backend == "flow":
+        # local import: the fluid backend is optional machinery layered
+        # on top of the dataplane, not a dependency of every experiment
+        from ..sim.flow import FluidTrafficModel
+
+        flow_model = FluidTrafficModel(network)
     return Bundle(
         topology=topology,
         sim=sim,
@@ -133,6 +146,7 @@ def build_bundle(
         streams=RandomStreams(seed),
         routing=routing,
         controller=controller,
+        flow_model=flow_model,
     )
 
 

@@ -29,7 +29,7 @@ in ``tests/test_fastpath.py`` pins it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterator, Optional, Tuple
+from typing import Callable, Hashable, Iterator, Optional, Tuple
 
 from .ip import IPv4Address, Prefix
 
@@ -107,6 +107,9 @@ class Fib:
         self.withdrawals = 0
         #: bumped on every mutation; consumers key caches off it
         self.generation = 0
+        #: observers of generation bumps (the fluid backend's recompute
+        #: trigger); called synchronously after each mutating batch
+        self.listeners: list[Callable[[], None]] = []
         #: destination value -> match chain, valid for _cache_generation
         self._chain_cache: dict[int, Tuple[FibEntry, ...]] = {}
         self._cache_generation = 0
@@ -161,18 +164,24 @@ class Fib:
                 break
         return True
 
+    def _changed(self) -> None:
+        """One generation bump + listener fan-out per mutating batch."""
+        self.generation += 1
+        for listener in self.listeners:
+            listener()
+
     def install(self, entry: FibEntry) -> None:
         """Insert or replace the entry for ``entry.prefix``."""
         self.installs += 1
-        self.generation += 1
         self._insert(entry)
+        self._changed()
 
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove the entry for ``prefix``; returns False if absent."""
         if not self._remove(prefix):
             return False
         self.withdrawals += 1
-        self.generation += 1
+        self._changed()
         return True
 
     def apply_delta(self, delta: FibDelta) -> None:
@@ -196,7 +205,7 @@ class Fib:
             self.installs += 1
             mutated = True
         if mutated:
-            self.generation += 1
+            self._changed()
 
     def exact(self, prefix: Prefix) -> Optional[FibEntry]:
         """The entry installed for exactly ``prefix``, if any."""
@@ -271,4 +280,4 @@ class Fib:
         """Remove every entry."""
         self._root = _TrieNode()
         self._count = 0
-        self.generation += 1
+        self._changed()

@@ -1,0 +1,122 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+The fluid backend replaces per-packet queueing with the classic fluid
+approximation: every link's capacity is divided max-min fairly among the
+flows crossing it.  The solver is the textbook water-filling algorithm —
+raise every unfrozen flow's rate uniformly until some link saturates (or
+some flow hits its demand cap), freeze the flows that saturated, repeat
+with the residual capacities.
+
+The implementation is deliberately **order-independent**: flows are
+processed in sorted-id order at every step, bottleneck links are found by
+scanning links in sorted order, and every frozen rate is a pure function
+of (paths, capacities, demands) — never of insertion order.  The
+hypothesis suite in ``tests/test_fairshare.py`` pins the three defining
+properties (conservation, link-removal monotonicity, order independence),
+and the differential cross-backend harness relies on them: a corrupted
+solver is caught by the ``backend-agreement`` invariant
+(:mod:`repro.check.differential`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+#: flows and links are identified by any sortable hashable (the fluid
+#: model uses strings / int pairs)
+FlowId = Hashable
+LinkId = Hashable
+
+
+class FairShareError(ValueError):
+    """A flow crosses a link with no declared capacity."""
+
+
+def max_min_rates(
+    paths: Mapping[FlowId, Sequence[LinkId]],
+    capacity: Mapping[LinkId, float],
+    demand: Optional[Mapping[FlowId, float]] = None,
+) -> Dict[FlowId, float]:
+    """Max-min fair rates for ``paths`` over per-link ``capacity``.
+
+    ``paths`` maps each flow to the links it crosses (a flow crossing no
+    links — source and destination on the same host — is only limited by
+    its demand, ``inf`` when elastic).  ``demand`` optionally caps
+    individual flows (bytes/ns of offered load); elastic flows take as
+    much as fairness allows.
+
+    Returns a rate per flow in the same unit as ``capacity``.  The result
+    is a pure function of the three mappings: iteration order of the
+    inputs never matters.
+    """
+    demands: Mapping[FlowId, float] = demand or {}
+    rates: Dict[FlowId, float] = {}
+    active: Dict[FlowId, Tuple[LinkId, ...]] = {}
+    for fid in sorted(paths):  # type: ignore[type-var]
+        links = tuple(paths[fid])
+        for link in links:
+            if link not in capacity:
+                raise FairShareError(f"flow {fid!r} crosses unknown link {link!r}")
+        if not links:
+            cap = demands.get(fid)
+            rates[fid] = float(cap) if cap is not None else math.inf
+        else:
+            active[fid] = links
+    remaining: Dict[LinkId, float] = {}
+    for links in active.values():
+        for link in links:
+            remaining[link] = float(capacity[link])
+
+    while active:
+        count: Dict[LinkId, int] = {}
+        for fid in active:
+            for link in active[fid]:
+                count[link] = count.get(link, 0) + 1
+        level = math.inf
+        for link in sorted(count):  # type: ignore[type-var]
+            share = remaining[link] / count[link]
+            if share < level:
+                level = share
+        # demand-capped flows at or below the water level freeze at
+        # their demand first — they never contend for the bottleneck
+        capped = [
+            fid for fid in active
+            if fid in demands and float(demands[fid]) <= level
+        ]
+        if capped:
+            for fid in capped:
+                rate = float(demands[fid])
+                rates[fid] = rate
+                for link in active[fid]:
+                    remaining[link] = max(0.0, remaining[link] - rate)
+                del active[fid]
+            continue
+        bottlenecks = frozenset(
+            link for link in count
+            if remaining[link] / count[link] <= level
+        )
+        frozen = [
+            fid for fid in active
+            if any(link in bottlenecks for link in active[fid])
+        ]
+        assert frozen, "progressive filling must freeze at least one flow"
+        for fid in frozen:
+            rates[fid] = level
+            for link in active[fid]:
+                remaining[link] = max(0.0, remaining[link] - level)
+            del active[fid]
+    return rates
+
+
+def link_loads(
+    paths: Mapping[FlowId, Sequence[LinkId]],
+    rates: Mapping[FlowId, float],
+) -> Dict[LinkId, float]:
+    """Aggregate rate per link implied by an allocation (test helper)."""
+    loads: Dict[LinkId, float] = {}
+    for fid in sorted(paths):  # type: ignore[type-var]
+        rate = rates[fid]
+        for link in paths[fid]:
+            loads[link] = loads.get(link, 0.0) + rate
+    return loads

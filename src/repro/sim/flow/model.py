@@ -1,0 +1,482 @@
+"""The fluid (flow-level) data plane.
+
+The packet backend simulates every probe segment as discrete events —
+faithful, but event count scales with traffic volume, which is what caps
+it around k=8 fat trees.  This module replaces *only the data traffic*
+with the classic fluid approximation: each flow is a piecewise-constant
+rate process, recomputed whenever the network changes, and per-flow
+throughput/FCT/loss fall out analytically.  Everything the paper is
+actually about — failures, detection timers, LSA flooding over real
+control packets, SPF throttling, FIB downloads — stays event-driven on
+the exact same engine and control-plane code as the packet backend.
+
+How a flow's rate is determined at any instant:
+
+1. its path is resolved through the live FIBs with the same five-tuple
+   ECMP hashing the packet data plane uses
+   (:meth:`~repro.dataplane.network.Network.trace_route`), honoring
+   *detected* state for next-hop choice and *actual* channel state for
+   deliverability — so undetected failures black-hole fluid flows
+   exactly as they black-hole packets;
+2. link capacity is divided max-min fairly among the flows crossing it
+   (:func:`repro.sim.flow.fairshare.max_min_rates`), with CBR flows
+   capped at their offered rate;
+3. the resulting ``(rate, path delay, hop count)`` triple is appended to
+   the flow's segment timeline.
+
+Recomputation is **change-driven, not polled**: the model subscribes to
+the three places network state can change (FIB generation bumps,
+detected-adjacency epoch bumps, actual link up/down) and coalesces all
+notifications within one simulated instant into a single recompute
+event at :data:`PRIORITY_FLOW` — after control-plane and delivery
+events of the same instant, before the checker's probes.
+
+What the fluid view *cannot* observe (documented in DESIGN §11):
+per-packet ECMP spraying (a flow follows one hashed path), transient
+micro-loops between asynchronous FIB updates (a looping resolution just
+reads as "no path"), and queueing delay (uncongested flows see the pure
+store-and-forward latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...net.packet import PROTO_UDP
+from ..engine import Simulator
+from ..units import Time, transmission_delay
+from .fairshare import max_min_rates
+
+#: Priority for fluid-model recompute events: after control events
+#: (failures, timers, FIB installs at 0) and packet deliveries (10) of
+#: the same instant — so a recompute sees the instant's final state —
+#: but before the checker's invariant probes at 90.
+PRIORITY_FLOW = 50
+
+#: Tolerance for "delivered a full packet's worth of credit" — absorbs
+#: float error in rate × interval accumulation, far below one packet.
+_CREDIT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A constant-bit-rate (or paced-reliable) flow's immutable shape.
+
+    ``packet_bytes`` is the wire size of one application packet and
+    ``interval`` the spacing between offers, so the offered rate is
+    ``packet_bytes / interval`` bytes/ns.  ``reliable`` selects the
+    paced-TCP-like behaviour: offered bytes that cannot be delivered
+    accumulate as backlog and drain (elastically, at the fair-share
+    rate) once the path heals, instead of being lost.
+    """
+
+    name: str
+    src: str
+    dst: str
+    dport: int
+    sport: int
+    protocol: int = PROTO_UDP
+    packet_bytes: int = 1448
+    interval: Time = 100_000
+    start: Time = 0
+    stop: Time = 0
+    reliable: bool = False
+
+    @property
+    def demand(self) -> float:
+        """Offered rate in bytes/ns."""
+        return self.packet_bytes / self.interval
+
+
+@dataclass(frozen=True)
+class FlowSegment:
+    """One piece of a flow's piecewise-constant history.
+
+    ``rate`` is the *delivered* rate in bytes/ns (0 while the path is
+    dead), ``delay`` the end-to-end latency and ``hops`` the switch
+    count of the path in force — both 0 while there is no path.
+    """
+
+    start: Time
+    rate: float
+    delay: Time
+    hops: int
+
+
+@dataclass
+class FluidFlow:
+    """One flow's runtime state and, after the run, its analytic outputs."""
+
+    spec: FlowSpec
+    segments: List[FlowSegment] = field(default_factory=list)
+    #: bytes delivered so far (maintained for reliable flows' backlog)
+    delivered: float = 0.0
+    #: simulated time up to which ``delivered`` is accurate
+    advanced_to: Time = 0
+    active: bool = False
+    closed_at: Optional[Time] = None
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def sent(self) -> int:
+        """Packets offered by the application (same count as the packet
+        backend's sender: one per interval tick in [start, stop))."""
+        spec = self.spec
+        if spec.stop <= spec.start:
+            return 0
+        span = spec.stop - spec.start
+        return (span + spec.interval - 1) // spec.interval
+
+    def offered_bytes(self, at: Time) -> float:
+        """Cumulative bytes offered by the application at time ``at``."""
+        spec = self.spec
+        t = min(max(at, spec.start), spec.stop)
+        return spec.demand * (t - spec.start)
+
+    def _segment_spans(self) -> List[Tuple[Time, Time, FlowSegment]]:
+        """Segments with explicit [from, to) spans (to = close time for
+        the last one)."""
+        end = self.closed_at
+        if end is None:
+            raise RuntimeError(
+                f"flow {self.spec.name!r} not finalized; run the simulation "
+                "and call FluidTrafficModel.finalize() first"
+            )
+        spans: List[Tuple[Time, Time, FlowSegment]] = []
+        for i, seg in enumerate(self.segments):
+            until = self.segments[i + 1].start if i + 1 < len(self.segments) else end
+            if until > seg.start:
+                spans.append((seg.start, until, seg))
+        return spans
+
+    def arrivals(self) -> List[Tuple[int, Time, Time, int]]:
+        """Synthesized per-packet arrival log: (seq, sent_at, received_at,
+        hops) — the fluid equivalent of ``UdpSink.arrivals``.
+
+        A packet offered at tick *t* is delivered when the flow has
+        accumulated one packet of delivery credit (``rate/demand`` per
+        tick), and arrives after the path latency in force at *t*.  An
+        uncongested live path delivers every tick; a dead path none —
+        with partial rates the thinning is deterministic.
+        """
+        spec = self.spec
+        spans = self._segment_spans()
+        out: List[Tuple[int, Time, Time, int]] = []
+        credit = 0.0
+        cursor = 0
+        for seq in range(self.sent):
+            t = spec.start + seq * spec.interval
+            while cursor < len(spans) and spans[cursor][1] <= t:
+                cursor += 1
+            if cursor >= len(spans):
+                break
+            t0, _t1, seg = spans[cursor]
+            if t < t0 or seg.rate <= 0.0:
+                credit = 0.0
+                continue
+            credit += min(1.0, seg.rate / spec.demand)
+            if credit >= 1.0 - _CREDIT_EPS:
+                credit -= 1.0
+                out.append((seq, t, t + seg.delay, seg.hops))
+        return out
+
+    def deliveries(self, chunk: Optional[Time] = None) -> List[Tuple[Time, int]]:
+        """Synthesized (time, bytes) delivery log — the fluid equivalent
+        of ``TcpSinkServer.deliveries``, for throughput binning.
+
+        Bytes are emitted in ``chunk``-sized steps (default: the flow's
+        own interval) from the piecewise-linear cumulative delivery
+        curve, rounding so the total is conserved.
+        """
+        step = chunk if chunk is not None else self.spec.interval
+        if step <= 0:
+            raise ValueError("chunk must be positive")
+        spans = self._segment_spans()
+        out: List[Tuple[Time, int]] = []
+        emitted = 0
+        cumulative = 0.0
+        for t0, t1, seg in spans:
+            if seg.rate <= 0.0:
+                continue
+            t = t0
+            while t < t1:
+                t_next = min(t + step, t1)
+                cumulative += seg.rate * (t_next - t)
+                total = int(cumulative)
+                if total > emitted:
+                    out.append((t_next + seg.delay, total - emitted))
+                    emitted = total
+                t = t_next
+        return out
+
+    def outage_intervals(self) -> List[Tuple[Time, Time]]:
+        """[from, to) spans during which the flow was undeliverable."""
+        return [
+            (t0, t1) for t0, t1, seg in self._segment_spans() if seg.rate <= 0.0
+        ]
+
+    @property
+    def received(self) -> int:
+        """Delivered packet count (CBR view)."""
+        return len(self.arrivals())
+
+
+class FluidTrafficModel:
+    """Fluid data plane bound to one runtime network.
+
+    Create it right after the network (before traffic starts), add flows,
+    run the simulation, then :meth:`finalize` and read each flow's
+    analytic outputs.  :func:`repro.experiments.common.build_bundle`
+    attaches one automatically when ``params.backend == "flow"``.
+    """
+
+    def __init__(self, network: "object") -> None:
+        # typed loosely to avoid a dataplane import cycle; the attribute
+        # uses below define the real interface (Network)
+        self.network = network
+        self.sim: Simulator = network.sim  # type: ignore[attr-defined]
+        self.params = network.params  # type: ignore[attr-defined]
+        #: the fair-share solver — an instance seam so seeded mutants can
+        #: corrupt it (mirroring the incremental-SPF corruption mutant)
+        self.solver: Callable[..., Dict[object, float]] = max_min_rates
+        self.flows: Dict[str, FluidFlow] = {}
+        self._active: Dict[str, FluidFlow] = {}
+        self._pending_at: Optional[Time] = None
+        self._drain_handles: Dict[str, object] = {}
+        #: lifetime counters (surfaced through trial stats)
+        self.recomputes = 0
+        self.notifications = 0
+        self._subscribe()
+
+    # -------------------------------------------------------- subscriptions
+
+    def _subscribe(self) -> None:
+        """Listen to every place network state can change (see module
+        docstring); all three hooks funnel into :meth:`_notify`."""
+        network = self.network
+        for node in network.nodes.values():  # type: ignore[attr-defined]
+            node.epoch_listeners.append(self._notify)
+            fib = getattr(node, "fib", None)
+            if fib is not None:
+                fib.listeners.append(self._notify)
+        for link in network.links:  # type: ignore[attr-defined]
+            link.state_listeners.append(self._notify)
+
+    def _notify(self) -> None:
+        """A network change happened *now*; coalesce into one recompute."""
+        self.notifications += 1
+        if not self._active:
+            return
+        now = self.sim.now
+        if self._pending_at == now:
+            return
+        self._pending_at = now
+        self.sim.schedule_at(now, self._recompute_event, priority=PRIORITY_FLOW)
+
+    def _recompute_event(self) -> None:
+        self._pending_at = None
+        self._recompute()
+
+    # --------------------------------------------------------------- flows
+
+    def add_cbr_flow(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        dport: int,
+        sport: int,
+        protocol: int = PROTO_UDP,
+        packet_bytes: int = 1448,
+        interval: Time = 100_000,
+        start: Time = 0,
+        stop: Time = 0,
+        reliable: bool = False,
+    ) -> FluidFlow:
+        """Register a flow; it activates/deactivates by scheduled event."""
+        if name in self.flows:
+            raise ValueError(f"duplicate flow name {name!r}")
+        if stop <= start:
+            raise ValueError(f"flow {name!r}: stop must be after start")
+        spec = FlowSpec(
+            name=name, src=src, dst=dst, dport=dport, sport=sport,
+            protocol=protocol, packet_bytes=packet_bytes, interval=interval,
+            start=start, stop=stop, reliable=reliable,
+        )
+        flow = FluidFlow(spec=spec, advanced_to=start)
+        self.flows[name] = flow
+        self.sim.schedule_at(start, self._activate, flow, priority=PRIORITY_FLOW)
+        self.sim.schedule_at(stop, self._on_stop, flow, priority=PRIORITY_FLOW)
+        return flow
+
+    def add_paced_flow(self, *args: object, **kwargs: object) -> FluidFlow:
+        """A reliable (paced-TCP-like) flow: same knobs as
+        :meth:`add_cbr_flow` with backlog-and-drain semantics."""
+        kwargs["reliable"] = True
+        return self.add_cbr_flow(*args, **kwargs)  # type: ignore[arg-type]
+
+    def _activate(self, flow: FluidFlow) -> None:
+        flow.active = True
+        self._active[flow.spec.name] = flow
+        self._recompute()
+
+    def _on_stop(self, flow: FluidFlow) -> None:
+        """The application stops offering; a reliable flow with backlog
+        stays active until it drains."""
+        if not flow.active:
+            return
+        if flow.spec.reliable:
+            self._advance(flow, self.sim.now)
+            if flow.offered_bytes(self.sim.now) - flow.delivered > 0.5:
+                self._recompute()
+                return
+        self._deactivate(flow)
+
+    def _deactivate(self, flow: FluidFlow) -> None:
+        if not flow.active:
+            return
+        self._advance(flow, self.sim.now)
+        flow.active = False
+        self._active.pop(flow.spec.name, None)
+        handle = self._drain_handles.pop(flow.spec.name, None)
+        if handle is not None:
+            handle.cancel()  # type: ignore[attr-defined]
+        self._recompute()
+
+    # ----------------------------------------------------------- recompute
+
+    def _advance(self, flow: FluidFlow, to: Time) -> None:
+        """Integrate the flow's delivered bytes up to ``to``."""
+        if to <= flow.advanced_to:
+            return
+        rate = flow.segments[-1].rate if flow.segments else 0.0
+        flow.delivered += rate * (to - flow.advanced_to)
+        if flow.spec.reliable:
+            # delivery can never outrun the offer (drain events split
+            # segments at the catch-up instant; this caps float drift)
+            flow.delivered = min(flow.delivered, flow.offered_bytes(to))
+        flow.advanced_to = to
+
+    def _resolve(self, spec: FlowSpec) -> Tuple[Optional[List[Tuple[str, str]]], Time, int]:
+        """(directed links, path delay, hop count) for a flow right now;
+        links is None when the flow is undeliverable."""
+        path, complete = self.network.trace_route(  # type: ignore[attr-defined]
+            spec.src, spec.dst, spec.protocol, spec.sport, spec.dport,
+            check_actual=True,
+        )
+        if not complete:
+            return None, 0, 0
+        links = list(zip(path, path[1:]))
+        tx = transmission_delay(spec.packet_bytes, self.params.link_rate_gbps)
+        per_hop = tx + self.params.propagation_delay
+        switches = max(0, len(path) - 2)
+        delay = len(links) * per_hop + switches * self.params.switch_processing_delay
+        return links, delay, switches
+
+    def _recompute(self) -> None:
+        """Re-resolve every active flow and re-solve the fair shares."""
+        now = self.sim.now
+        self.recomputes += 1
+        for name in sorted(self._active):
+            self._advance(self._active[name], now)
+
+        paths: Dict[str, List[Tuple[str, str]]] = {}
+        meta: Dict[str, Tuple[Time, int]] = {}
+        demand: Dict[str, float] = {}
+        capacity: Dict[Tuple[str, str], float] = {}
+        bytes_per_ns = self.params.link_rate_gbps / 8.0
+        for name in sorted(self._active):
+            flow = self._active[name]
+            spec = flow.spec
+            links, delay, hops = self._resolve(spec)
+            if links is None:
+                self._append_segment(flow, now, 0.0, 0, 0)
+                continue
+            paths[name] = links
+            meta[name] = (delay, hops)
+            for link in links:
+                capacity[link] = bytes_per_ns
+            if spec.reliable and (
+                flow.offered_bytes(now) - flow.delivered > 0.5 or now >= spec.stop
+            ):
+                # backlogged: drain elastically at the fair-share rate
+                pass
+            else:
+                demand[name] = spec.demand
+        rates = self.solver(paths, capacity, demand)
+        for name in sorted(paths):
+            flow = self._active[name]
+            delay, hops = meta[name]
+            self._append_segment(flow, now, float(rates[name]), delay, hops)
+        self._schedule_drains(now)
+
+    def _append_segment(
+        self, flow: FluidFlow, now: Time, rate: float, delay: Time, hops: int
+    ) -> None:
+        segments = flow.segments
+        if segments and segments[-1].start == now:
+            segments.pop()  # same-instant refinement: last write wins
+        if segments:
+            last = segments[-1]
+            if last.rate == rate and last.delay == delay and last.hops == hops:
+                return
+        segments.append(FlowSegment(start=now, rate=rate, delay=delay, hops=hops))
+
+    def _schedule_drains(self, now: Time) -> None:
+        """For each backlogged reliable flow, schedule the instant its
+        backlog empties — the rate changes there (drain -> paced) without
+        any network event to trigger a recompute."""
+        for name in sorted(self._active):
+            flow = self._active[name]
+            spec = flow.spec
+            old = self._drain_handles.pop(name, None)
+            if old is not None:
+                old.cancel()  # type: ignore[attr-defined]
+            if not spec.reliable or not flow.segments:
+                continue
+            rate = flow.segments[-1].rate
+            backlog = flow.offered_bytes(now) - flow.delivered
+            if rate <= 0.0 or backlog <= 0.5:
+                continue
+            offer_rate = spec.demand if now < spec.stop else 0.0
+            if rate <= offer_rate:
+                continue
+            drain_ns = int(backlog / (rate - offer_rate)) + 1
+            if now < spec.stop and now + drain_ns > spec.stop:
+                # the offer stops before the drain completes; the stop
+                # event re-enters here with the post-stop offer rate
+                continue
+            self._drain_handles[name] = self.sim.schedule(
+                drain_ns, self._on_drained, flow, priority=PRIORITY_FLOW
+            )
+
+    def _on_drained(self, flow: FluidFlow) -> None:
+        self._drain_handles.pop(flow.spec.name, None)
+        if not flow.active:
+            return
+        if self.sim.now >= flow.spec.stop:
+            self._deactivate(flow)
+        else:
+            self._recompute()
+
+    # ------------------------------------------------------------ epilogue
+
+    def finalize(self) -> None:
+        """Close every flow's timeline at the current instant; flows'
+        analytic outputs (arrivals, deliveries) become readable."""
+        now = self.sim.now
+        for name in sorted(self.flows):
+            flow = self.flows[name]
+            self._advance(flow, now)
+            if flow.closed_at is None or flow.closed_at < now:
+                flow.closed_at = now
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-safe model counters for trial stats / flight recorder."""
+        return {
+            "flows": len(self.flows),
+            "recomputes": self.recomputes,
+            "notifications": self.notifications,
+        }

@@ -1,0 +1,175 @@
+"""Batch warm start: a pre-converged control plane for large fabrics.
+
+Event-driven initial convergence floods every switch's LSA across every
+link — O(V·E) control-packet events, which is 40M+ at k=32 and the real
+reason the packet backend cannot touch production scales.  But the
+converged *outcome* is a pure function of the topology: every switch
+ends up with the same LSDB, and its routes are exactly
+:func:`repro.routing.spf.compute_routes` on it.  So this module builds
+that outcome directly:
+
+1. protocol instances are constructed exactly as
+   :func:`repro.routing.linkstate.deploy_linkstate` does — but never
+   ``start()``-ed, so no flooding events exist;
+2. the converged LSDB (one seq-1 LSA per switch) is written into every
+   instance;
+3. all route tables come from one :func:`repro.routing.spf_batch.
+   batch_compute_routes` run and are bulk-loaded into the FIBs;
+4. each instance's SPF engine is replaced by a shared
+   :class:`BatchRouteOracle` engine, so *post-failure* SPF runs — which
+   all see the same flooded LSDB — cost one batch computation for the
+   whole fabric instead of V sequential Dijkstras.
+
+After warm start the simulator clock is still wherever it was and the
+event queue is untouched: failures, detection, flooding of the *change*,
+SPF throttling and FIB downloads all proceed event-driven exactly as on
+a conventionally-converged network.  ``tests/test_flow_backend.py``
+pins that equivalence: on small fabrics the warm-started FIBs are
+identical to event-driven convergence.
+
+The module reaches into ``LinkStateProtocol``'s private warm state
+(``_seq``, ``_installed``, ``_spf_engine``) deliberately — it is the
+protocol's second constructor, not an external consumer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ...net.fib import FibDelta, FibEntry
+from ...net.ip import Prefix
+from ...routing.linkstate import SOURCE, LinkStateProtocol
+from ...routing.lsdb import Lsa, Lsdb
+from ...routing.spf import RouteTable
+from ...routing.spf_batch import batch_compute_routes
+from ...routing.spf_incremental import SpfRunReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...dataplane.network import Network
+
+
+class BatchRouteOracle:
+    """Fingerprint-keyed cache of whole-fabric batch SPF results.
+
+    All switches of a converged (or post-flood) fabric share one LSDB
+    fingerprint, so one batch computation serves every origin.  A small
+    LRU covers the transient where early SPF timers fire on a
+    still-flooding database.
+    """
+
+    def __init__(self, engine: str = "auto", max_cached: int = 4) -> None:
+        self.engine = engine
+        self.max_cached = max_cached
+        self._cache: "OrderedDict[object, Dict[str, RouteTable]]" = OrderedDict()
+        #: lifetime counters (deterministic; surfaced by scale trials)
+        self.batch_runs = 0
+        self.hits = 0
+
+    def routes(self, lsdb: Lsdb) -> Dict[str, RouteTable]:
+        fingerprint = lsdb.fingerprint()
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(fingerprint)
+            return cached
+        self.batch_runs += 1
+        result = batch_compute_routes(lsdb, engine=self.engine)
+        self._cache[fingerprint] = result
+        while len(self._cache) > self.max_cached:
+            self._cache.popitem(last=False)
+        return result
+
+
+class OracleSpfEngine:
+    """Drop-in for ``IncrementalSpfEngine``: answers every ``compute``
+    from the shared batch oracle."""
+
+    def __init__(self, origin: str, oracle: BatchRouteOracle) -> None:
+        self.origin = origin
+        self.oracle = oracle
+
+    @property
+    def state(self) -> None:
+        return None
+
+    def compute(self, lsdb: Lsdb) -> Tuple[RouteTable, SpfRunReport]:
+        routes = self.oracle.routes(lsdb).get(self.origin, {})
+        return dict(routes), SpfRunReport(delta="batch", incremental=False)
+
+
+def warm_start_linkstate(
+    network: "Network",
+    advertise_loopbacks: bool = False,
+    engine: str = "auto",
+    oracle: Optional[BatchRouteOracle] = None,
+) -> Dict[str, LinkStateProtocol]:
+    """Deploy a pre-converged link-state control plane (see module doc).
+
+    The drop-in warm twin of :func:`~repro.routing.linkstate.
+    deploy_linkstate` — same instances, same advertisements, same
+    converged FIB contents — minus the O(V·E) initial flooding, plus the
+    shared batch-SPF oracle.  ``advertise_loopbacks`` defaults to False
+    here (unlike ``deploy_linkstate``): at production scale the /32
+    loopbacks triple the FIB size without affecting any host-to-host
+    path, and the scale benchmark documents that choice.
+    """
+    from ...dataplane.node import SwitchNode  # local import avoids a cycle
+
+    if oracle is None:
+        oracle = BatchRouteOracle(engine=engine)
+    instances: Dict[str, LinkStateProtocol] = {}
+    for switch in network.switches():
+        spec = switch.spec
+        advertised: List[Prefix] = []
+        if spec.subnet is not None:
+            advertised.append(spec.subnet)
+        if advertise_loopbacks:
+            advertised.append(Prefix(switch.ip, 32))
+        switch_neighbors = [
+            peer
+            for peer in switch.links_by_peer
+            if isinstance(network.nodes[peer], SwitchNode)
+        ]
+        instances[switch.name] = LinkStateProtocol(
+            network.sim,
+            switch,
+            network.params,
+            switch_neighbors=switch_neighbors,
+            advertised=advertised,
+        )
+
+    # the converged database: one seq-1 LSA per switch, exactly what
+    # each instance's first origination would have flooded
+    lsas: List[Lsa] = []
+    for name in sorted(instances):
+        protocol = instances[name]
+        lsas.append(
+            Lsa(
+                origin=name,
+                seq=1,
+                neighbors=tuple(protocol._live_protocol_neighbors()),
+                prefixes=protocol.advertised,
+            )
+        )
+    reference = Lsdb()
+    for lsa in lsas:
+        reference.insert(lsa)
+    routes_by_origin = oracle.routes(reference)
+
+    for name in sorted(instances):
+        protocol = instances[name]
+        for lsa in lsas:
+            protocol.lsdb.insert(lsa)
+        protocol._seq = 1
+        protocol.stats.lsas_originated += 1
+        protocol._spf_engine = OracleSpfEngine(name, oracle)
+        routes = routes_by_origin.get(name, {})
+        installs = tuple(
+            FibEntry(prefix, routes[prefix], source=SOURCE)
+            for prefix in sorted(routes)
+        )
+        protocol.switch.fib.apply_delta(FibDelta(installs, ()))
+        protocol._installed = {entry.prefix: entry for entry in installs}
+        protocol.stats.fib_installs += 1
+    return instances

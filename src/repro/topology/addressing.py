@@ -31,6 +31,18 @@ COVERING_PREFIX = Prefix("10.10.0.0/15")
 _AGG_BASE = IPv4Address("10.12.0.0")
 _CORE_BASE = IPv4Address("10.13.0.0")
 
+#: Wide layout for fabrics beyond the figure's scale (k=32 fat trees
+#: have 512 racks and 512 aggregation switches): same shape — one /24
+#: per rack under one DCN prefix, covered by a one-bit-shorter prefix,
+#: /24-spaced loopback blocks for the middle and core layers — but the
+#: blocks are spread across 10/8 so none can collide below 16384
+#: switches per layer.  Fabrics that fit the paper's layout keep it
+#: byte-identically.
+_WIDE_DCN_BASE = IPv4Address("10.64.0.0")
+_WIDE_AGG_BASE = IPv4Address("10.128.0.0")
+_WIDE_CORE_BASE = IPv4Address("10.192.0.0")
+_WIDE_LAYER_CAP = 16384
+
 
 @dataclass
 class AddressPlan:
@@ -68,15 +80,31 @@ def assign_addresses(topology: Topology) -> AddressPlan:
     prefix; aggregation/spine/intermediate and core switches get loopbacks
     under ``10.12.0.0/16`` and ``10.13.0.0/16`` respectively.
     """
-    plan = AddressPlan()
-
     tors = topology.nodes_of_kind(NodeKind.TOR, NodeKind.LEAF)
-    if len(tors) > 254:
-        raise TopologyError(
-            f"{len(tors)} racks exceed the /16 DCN prefix's 254 rack subnets"
-        )
+    middle = topology.nodes_of_kind(
+        NodeKind.AGG, NodeKind.SPINE, NodeKind.INTERMEDIATE
+    )
+    cores = topology.nodes_of_kind(NodeKind.CORE)
+    wide = (
+        len(tors) > 254
+        or len(middle) > 256
+        or len(cores) > 256
+    )
+    if wide:
+        dcn_prefix, covering_prefix = _wide_prefixes(len(tors))
+        agg_base, core_base = _WIDE_AGG_BASE, _WIDE_CORE_BASE
+        if max(len(middle), len(cores)) > _WIDE_LAYER_CAP:
+            raise TopologyError(
+                f"{max(len(middle), len(cores))} switches in one layer "
+                f"exceed the wide layout's {_WIDE_LAYER_CAP} loopback blocks"
+            )
+    else:
+        dcn_prefix, covering_prefix = DCN_PREFIX, COVERING_PREFIX
+        agg_base, core_base = _AGG_BASE, _CORE_BASE
+    plan = AddressPlan(dcn_prefix=dcn_prefix, covering_prefix=covering_prefix)
+
     for index, tor in enumerate(tors):
-        subnet = Prefix(DCN_PREFIX.address(index * 256), 24)
+        subnet = Prefix(dcn_prefix.address(index * 256), 24)
         tor_ip = subnet.address(1)
         tor.ip = tor_ip
         tor.subnet = subnet
@@ -92,20 +120,33 @@ def assign_addresses(topology: Topology) -> AddressPlan:
             plan.host_ips[host.name] = host_ip
             plan.by_ip[host_ip] = host.name
 
-    middle = topology.nodes_of_kind(
-        NodeKind.AGG, NodeKind.SPINE, NodeKind.INTERMEDIATE
-    )
     for index, switch in enumerate(middle):
-        ip = IPv4Address(_AGG_BASE.value + index * 256 + 1)
+        ip = IPv4Address(agg_base.value + index * 256 + 1)
         switch.ip = ip
         plan.switch_ips[switch.name] = ip
         plan.by_ip[ip] = switch.name
 
-    cores = topology.nodes_of_kind(NodeKind.CORE)
     for index, core in enumerate(cores):
-        ip = IPv4Address(_CORE_BASE.value + index * 256 + 1)
+        ip = IPv4Address(core_base.value + index * 256 + 1)
         core.ip = ip
         plan.switch_ips[core.name] = ip
         plan.by_ip[ip] = core.name
 
     return plan
+
+
+def _wide_prefixes(racks: int) -> tuple:
+    """(DCN prefix, covering prefix) sized for ``racks`` /24 subnets."""
+    bits = 8
+    while (1 << bits) - 2 < racks:
+        bits += 1
+    length = 24 - bits
+    if length < 10:
+        raise TopologyError(
+            f"{racks} racks exceed the wide DCN layout "
+            f"({(1 << 14) - 2} rack subnets)"
+        )
+    return (
+        Prefix(_WIDE_DCN_BASE, length),
+        Prefix(_WIDE_DCN_BASE, length - 1),
+    )

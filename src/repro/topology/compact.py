@@ -1,0 +1,107 @@
+"""Compact array-of-ints graph representation for large fabrics.
+
+:class:`~repro.topology.graph.Topology` stores nodes and links as rich
+dict-of-objects structures — ideal for the paper-scale experiments, but
+wasteful when a k=32 fat tree (1280 switches, ~17k links) needs all-pairs
+shortest paths.  :class:`CompactGraph` flattens a graph into CSR form:
+node names become dense integer indices, adjacency becomes two int
+arrays (``indptr``/``indices``), and the numpy-vectorized batch SPF in
+:mod:`repro.routing.spf_batch` operates directly on those arrays.
+
+Construction is canonical: names are sorted, per-row neighbor lists are
+sorted, so two graphs with equal edge sets produce byte-identical
+arrays regardless of input iteration order.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .graph import Topology
+
+
+@dataclass(frozen=True)
+class CompactGraph:
+    """An undirected graph in CSR (compressed sparse row) form.
+
+    ``indices[indptr[i]:indptr[i + 1]]`` are the (sorted) neighbor
+    indices of node ``i``; ``names[i]`` recovers the node's name.
+    """
+
+    names: Tuple[str, ...]
+    index: Dict[str, int]
+    indptr: "array[int]"
+    indices: "array[int]"
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count (each edge appears in two rows)."""
+        return len(self.indices) // 2
+
+    def neighbors(self, node: int) -> "array[int]":
+        """Neighbor indices of ``node`` (sorted)."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        return self.indptr[node + 1] - self.indptr[node]
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Mapping[str, Iterable[str]]
+    ) -> "CompactGraph":
+        """Build from a name -> neighbors mapping.
+
+        Every node must appear as a key; edges pointing at unknown names
+        are dropped (half-declared adjacency is not an edge — the same
+        two-way rule link-state SPF applies).
+        """
+        names = tuple(sorted(adjacency))
+        index = {name: i for i, name in enumerate(names)}
+        indptr = array("l", [0])
+        indices = array("l")
+        for name in names:
+            row = sorted(
+                {index[peer] for peer in adjacency[name] if peer in index}
+            )
+            indices.extend(row)
+            indptr.append(len(indices))
+        return cls(names=names, index=index, indptr=indptr, indices=indices)
+
+    @classmethod
+    def from_topology(
+        cls, topology: Topology, switches_only: bool = True
+    ) -> "CompactGraph":
+        """Flatten a built topology (by default its switch-to-switch graph,
+        which is what routing operates on)."""
+        adjacency: Dict[str, List[str]] = {}
+        for node in topology.nodes.values():
+            if switches_only and not node.kind.is_switch:
+                continue
+            adjacency[node.name] = []
+        for link in topology.links.values():
+            a, b = link.key
+            if a in adjacency and b in adjacency:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+        return cls.from_adjacency(adjacency)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Undirected edges as sorted name pairs (sorted list)."""
+        result: List[Tuple[str, str]] = []
+        for i in range(len(self.names)):
+            for j in self.neighbors(i):
+                if i < j:
+                    result.append((self.names[i], self.names[j]))
+        return result
+
+
+def pack_paths(paths: Sequence[Sequence[str]], graph: CompactGraph) -> List["array[int]"]:
+    """Convert name paths to index paths (bulk helper for the flow model)."""
+    return [
+        array("l", [graph.index[name] for name in path]) for path in paths
+    ]

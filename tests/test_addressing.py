@@ -107,9 +107,24 @@ class TestAssignment:
         plan = assign_addresses(topo)
         assert len(plan.tor_subnets) == 4
 
-    def test_too_many_racks_rejected(self):
+    def test_255_racks_use_the_wide_layout(self):
+        # beyond Fig 3(d)'s 254-rack capacity the plan switches to the
+        # wide layout (k=32 fat trees have 512 racks) instead of failing
         topo = Topology("wide")
         for i in range(255):
+            topo.add_node(Node(f"tor-{i}", NodeKind.TOR, pod=0, position=i))
+        plan = assign_addresses(topo)
+        assert len(plan.tor_subnets) == 255
+        subnets = list(plan.tor_subnets.values())
+        assert len(set(subnets)) == 255
+        for subnet in subnets:
+            assert plan.covering_prefix.contains(subnet.address(1))
+            assert plan.dcn_prefix.contains(subnet.address(1))
+
+    def test_too_many_racks_rejected(self):
+        # the wide layout itself caps at 16382 rack /24s
+        topo = Topology("too-wide")
+        for i in range(16383):
             topo.add_node(Node(f"tor-{i}", NodeKind.TOR, pod=0, position=i))
         with pytest.raises(TopologyError):
             assign_addresses(topo)

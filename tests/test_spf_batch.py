@@ -1,0 +1,99 @@
+"""Batch all-origins SPF vs the per-origin oracle, across all families.
+
+:func:`repro.routing.spf_batch.batch_compute_routes` promises exact
+equality with ``{origin: compute_routes(origin, lsdb)}`` — that promise
+is what lets :func:`repro.sim.flow.warmstart.warm_start_linkstate` feed
+every protocol instance from one shared computation.  This suite pins
+it across the four topology families the checker fuzzes, for both the
+numpy and pure-python engines, and the same for the packed
+:class:`~repro.routing.spf_incremental.SpfState` warm-start payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.f2tree import f2tree
+from repro.experiments.common import build_bundle
+from repro.routing.spf import compute_routes
+from repro.routing.spf_batch import (
+    ENGINES,
+    batch_compute_routes,
+    batch_spf_states,
+    have_numpy,
+)
+from repro.routing.spf_incremental import full_state
+from repro.topology.fattree import fat_tree
+from repro.topology.leafspine import leaf_spine
+from repro.topology.vl2 import vl2
+
+TOPOLOGIES = [
+    pytest.param(lambda: fat_tree(4), id="fat-tree-4"),
+    pytest.param(lambda: f2tree(6, across_ports=2), id="f2tree-6"),
+    pytest.param(lambda: leaf_spine(4, 2), id="leaf-spine-4"),
+    pytest.param(lambda: vl2(4, 4), id="vl2-4"),
+]
+
+ENGINE_PARAMS = [
+    pytest.param(
+        engine,
+        marks=pytest.mark.skipif(
+            engine == "numpy" and not have_numpy(),
+            reason="numpy unavailable",
+        ),
+    )
+    for engine in ENGINES
+]
+
+
+def converged_lsdb(build):
+    """A converged network's LSDB (every switch holds the same one)."""
+    bundle = build_bundle(build())
+    bundle.converge()
+    protocols = sorted(bundle.protocols)
+    fingerprints = {
+        bundle.protocols[name].lsdb.fingerprint() for name in protocols
+    }
+    assert len(fingerprints) == 1, "network did not converge to one LSDB"
+    return bundle.protocols[protocols[0]].lsdb
+
+
+@pytest.mark.parametrize("build", TOPOLOGIES)
+@pytest.mark.parametrize("engine", ENGINE_PARAMS)
+def test_batch_routes_equal_per_origin_oracle(build, engine):
+    lsdb = converged_lsdb(build)
+    batch = batch_compute_routes(lsdb, engine=engine)
+    for origin in sorted(batch):
+        assert batch[origin] == compute_routes(origin, lsdb), origin
+
+
+@pytest.mark.parametrize("build", TOPOLOGIES)
+@pytest.mark.parametrize("engine", ENGINE_PARAMS)
+def test_batch_states_equal_full_state(build, engine):
+    """The warm-start payload — distances, ECMP first-hop sets *and*
+    route tables — matches the incremental engine's from-scratch state
+    for every origin."""
+    lsdb = converged_lsdb(build)
+    states = batch_spf_states(lsdb, engine=engine)
+    for origin in sorted(states):
+        expected = full_state(origin, lsdb)
+        got = states[origin]
+        assert got.origin == expected.origin
+        assert got.fingerprint == expected.fingerprint
+        assert got.dist == expected.dist, origin
+        assert got.first_hops == expected.first_hops, origin
+        assert got.routes == expected.routes, origin
+
+
+@pytest.mark.skipif(not have_numpy(), reason="numpy unavailable")
+def test_numpy_and_python_engines_agree():
+    lsdb = converged_lsdb(lambda: fat_tree(4))
+    assert batch_compute_routes(lsdb, engine="numpy") == batch_compute_routes(
+        lsdb, engine="python"
+    )
+
+
+def test_unknown_engine_rejected():
+    lsdb = converged_lsdb(lambda: fat_tree(4))
+    with pytest.raises(ValueError):
+        batch_compute_routes(lsdb, engine="cuda")
