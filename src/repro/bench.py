@@ -39,7 +39,12 @@ import heapq
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataplane.node import SwitchNode
+    from .net.fib import FibEntry
+    from .net.packet import Packet
 
 #: regression gate: a fresh ratio below (1 - tolerance) x baseline fails
 DEFAULT_TOLERANCE = 0.30
@@ -292,7 +297,7 @@ def bench_event_batch(events: int, repeats: int) -> Dict[str, Any]:
 # --------------------------------------------------------------- forwarding
 
 
-def _naive_neighbor_alive(node, peer: str) -> bool:
+def _naive_neighbor_alive(node: "SwitchNode", peer: str) -> bool:
     """The pre-optimization liveness check: build the full live-link
     list for the peer, then test it for truthiness."""
     name = node.name
@@ -304,7 +309,9 @@ def _naive_neighbor_alive(node, peer: str) -> bool:
     return bool(live)
 
 
-def _naive_resolve_indexed(switch, packet):
+def _naive_resolve_indexed(
+    switch: "SwitchNode", packet: "Packet"
+) -> "Tuple[Optional[FibEntry], Optional[str], int]":
     """The pre-optimization resolve: fresh trie walk per packet, full
     list allocation at every pruning step."""
     from .net.ecmp import select_next_hop

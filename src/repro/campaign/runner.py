@@ -80,7 +80,7 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         yield
         return
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: object) -> None:
         raise TrialTimeout(f"trial exceeded its {seconds:g}s timeout")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

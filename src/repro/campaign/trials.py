@@ -31,11 +31,14 @@ Kinds
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, TYPE_CHECKING, Tuple
 
 from ..dataplane.params import NetworkParams
 from ..sim.units import microseconds, to_milliseconds
 from .spec import CampaignError, TrialContext, register_trial
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.graph import Topology
 
 #: spec-parameter prefix for flattened NetworkParams overrides
 NET_PREFIX = "net_"
@@ -73,7 +76,7 @@ def split_network_params(
     return network, rest
 
 
-def _build_topology(topology: str, ports: int, across_ports: int):
+def _build_topology(topology: str, ports: int, across_ports: int) -> "Topology":
     from ..core.f2tree import f2tree
     from ..topology.fattree import fat_tree
     from ..topology.leafspine import leaf_spine

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, TYPE_CHECKING, Tuple
 
 from .config import TrialConfig
 from .execute import CheckOutcome, execute_check
 from .invariants import canonical_violations
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .mutants import FaultMutant
 
 BUNDLE_VERSION = 1
 
@@ -70,7 +73,7 @@ def write_bundle(
     path: Path,
     config: TrialConfig,
     outcome: CheckOutcome,
-    mutant=None,
+    mutant: "Optional[FaultMutant]" = None,
 ) -> Path:
     """Write a replay bundle, verifying reproducibility on the way.
 

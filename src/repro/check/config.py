@@ -17,6 +17,7 @@ modeled protocol, not a bug the fuzzer should report.
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
@@ -181,7 +182,7 @@ _WARMUP: Time = seconds(1)
 
 
 def fast_overrides(
-    rng=None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Tuple[str, int], ...]:
     """Draw (or, with ``rng=None``, pick the fastest) timer overrides."""
     if rng is None:

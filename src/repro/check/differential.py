@@ -29,14 +29,18 @@ asserted on classifications and converged state, not raw durations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..dataplane.params import NetworkParams
+from ..topology.graph import Topology
 from ..sim.units import Time
 from .config import TrialConfig, generate_config
 from .execute import CheckOutcome, execute_check
 from .invariants import canonical_violations
 from .mutants import FaultMutant, MutantResult, _events_config
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.recovery import RecoveryResult
 
 #: the cross-backend agreement pseudo-invariant (not part of the
 #: single-backend catalog in :mod:`repro.check.invariants` — it only
@@ -226,10 +230,10 @@ class RecoveryAgreement:
 
 
 def compare_recovery(
-    topology,
+    topology: Topology,
     transport: str = "udp",
     params: Optional[NetworkParams] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> RecoveryAgreement:
     """Run :func:`repro.experiments.recovery.run_recovery` on both
     backends and compare recovery-time classification and final path."""
@@ -243,7 +247,9 @@ def compare_recovery(
             topology, transport=transport, params=backend_params, **kwargs
         )
 
-    def reduce(result, backend) -> Tuple[str, Tuple[Optional[Time], bool]]:
+    def reduce(
+        result: "RecoveryResult", backend: str
+    ) -> Tuple[str, Tuple[Optional[Time], bool]]:
         duration = (
             result.connectivity_loss
             if transport == "udp"
@@ -278,7 +284,7 @@ def compare_recovery(
 FLOW_MUTANTS: Dict[str, FaultMutant] = {}
 
 
-def _corrupt_fair_share(bundle) -> None:
+def _corrupt_fair_share(bundle: Any) -> None:
     """Starve the fluid solver: every flow's fair share becomes zero, so
     the flow backend delivers nothing while its control plane (and the
     packet oracle) behave perfectly — only the probe-count comparison of
@@ -288,7 +294,12 @@ def _corrupt_fair_share(bundle) -> None:
         return
     original = model.solver
 
-    def starved(paths, capacity, demand=None, _original=original):
+    def starved(
+        paths: Any,
+        capacity: Any,
+        demand: Any = None,
+        _original: Callable[..., Dict[object, float]] = original,
+    ) -> Dict[object, float]:
         return {name: 0.0 for name in _original(paths, capacity, demand)}
 
     model.solver = starved

@@ -9,19 +9,28 @@ bundles byte-identical and delta-debugging sound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..dataplane.network import Network
 from ..failures.injector import FailureEvent, schedule_failures
-from ..failures.scenarios import build_scenario
+from ..failures.scenarios import ConditionScenario, build_scenario
 from ..net.packet import PROTO_UDP, WIRE_OVERHEAD
 from ..obs import Observability
-from ..sim.engine import PRIORITY_NORMAL, SimulationError, Simulator
+from ..sim.engine import (
+    PRIORITY_NORMAL,
+    EventHandle,
+    SimulationError,
+    Simulator,
+)
 from ..sim.units import Time, milliseconds
 from ..topology.graph import Topology
 from ..transport.udp import UdpSender, UdpSink
 from .config import TrialConfig, build_topology, quiescence_bound
 from .invariants import InvariantSuite, Violation
+
+if TYPE_CHECKING:
+    from ..experiments.common import Bundle
+    from .mutants import FaultMutant
 
 #: probe flow five-tuple constants (fixed so traces are comparable)
 PROBE_SPORT = 10000
@@ -56,8 +65,14 @@ class CheckedSimulator(Simulator):
         self.timing_violations: List[Tuple[Time, Time, str]] = []
         self._last_fire: Time = 0
 
-    def schedule_at(self, time, callback, *args, priority=PRIORITY_NORMAL):
-        def audited(*call_args):
+    def schedule_at(
+        self,
+        time: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        def audited(*call_args: Any) -> None:
             now = self.now
             if now != time:
                 self.timing_violations.append(
@@ -73,7 +88,13 @@ class CheckedSimulator(Simulator):
 
         return super().schedule_at(time, audited, *args, priority=priority)
 
-    def schedule(self, delay, callback, *args, priority=PRIORITY_NORMAL):
+    def schedule(
+        self,
+        delay: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
         # the base class inlines schedule() for speed instead of routing
         # through schedule_at(), so the audit wrapper must be applied on
         # this path explicitly
@@ -84,7 +105,7 @@ class CheckedSimulator(Simulator):
         )
 
 
-def _describe(callback) -> str:
+def _describe(callback: Callable[..., None]) -> str:
     return getattr(callback, "__qualname__", repr(callback))
 
 
@@ -126,7 +147,9 @@ class CheckOutcome:
         return sorted({v.invariant for v in self.violations})
 
 
-def _resolve_scenario(config: TrialConfig, bundle, src: str, dst: str):
+def _resolve_scenario(
+    config: TrialConfig, bundle: "Bundle", src: str, dst: str
+) -> Tuple[ConditionScenario, List[str], Tuple[FailureEvent, ...]]:
     """Build the Table IV scenario on this bundle's converged best path."""
     path, completed = bundle.network.trace_route(
         src, dst, PROTO_UDP, PROBE_SPORT, PROBE_DPORT
@@ -136,6 +159,8 @@ def _resolve_scenario(config: TrialConfig, bundle, src: str, dst: str):
             f"converged network cannot route {src}->{dst}; "
             f"probe died after {path}"
         )
+    if config.scenario is None:
+        raise CheckError("scenario profile without a scenario label")
     scenario = build_scenario(config.scenario, bundle.topology, path)
     at = config.warmup + SCENARIO_OFFSET
     events = tuple(FailureEvent(at, a, b) for a, b in scenario.failed)
@@ -144,7 +169,7 @@ def _resolve_scenario(config: TrialConfig, bundle, src: str, dst: str):
 
 def execute_check(
     config: TrialConfig,
-    mutant=None,
+    mutant: Optional["FaultMutant"] = None,
     traced: bool = False,
     capture_fibs: bool = False,
 ) -> CheckOutcome:

@@ -48,16 +48,21 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, TYPE_CHECKING, Tuple
 
 from ..core.backup_routes import ring_neighbors_of
 from ..net.ecmp import select_next_hop
-from ..net.fib import LOCAL, FibEntry
+from ..net.fib import LOCAL, Fib, FibEntry
 from ..net.packet import PROTO_UDP, Packet
 from ..routing.lsdb import Lsa, Lsdb
 from ..routing.spf_cache import compute_routes_cached
 from ..sim.units import Time
 from ..topology.graph import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..failures.scenarios import ConditionScenario
+    from ..net.ip import IPv4Address
+    from .execute import CheckEnv
 
 LOOP_FREEDOM = "loop-freedom"
 FRR_WINDOW = "frr-window"
@@ -169,7 +174,7 @@ def find_cycles(
 class InvariantSuite:
     """Evaluates the catalog against one live check environment."""
 
-    def __init__(self, env) -> None:
+    def __init__(self, env: "CheckEnv") -> None:
         self.env = env
         self.violations: List[Violation] = []
         self.checks_run: Dict[str, int] = {}
@@ -190,14 +195,16 @@ class InvariantSuite:
     def _count(self, invariant: str) -> None:
         self.checks_run[invariant] = self.checks_run.get(invariant, 0) + 1
 
-    def _reference_chain(self, fib, address) -> List[FibEntry]:
+    def _reference_chain(
+        self, fib: Fib, address: "IPv4Address"
+    ) -> List[FibEntry]:
         """Brute-force longest-prefix match chain, bypassing the (possibly
         instance-patched) trie walk."""
         matching = [e for e in fib.entries() if e.prefix.contains(address)]
         matching.sort(key=lambda e: -e.prefix.length)
         return matching
 
-    def _forwarding_edges(self, address) -> ForwardingEdges:
+    def _forwarding_edges(self, address: "IPv4Address") -> ForwardingEdges:
         """The effective forwarding graph toward ``address``: for every
         switch, the live next hops of its first live match (the entries
         ECMP could spray over)."""
@@ -316,7 +323,9 @@ class InvariantSuite:
 
     # --------------------------------------------------------- frr window
 
-    def check_frr_window(self, scenario, path_before: List[str]) -> None:
+    def check_frr_window(
+        self, scenario: "ConditionScenario", path_before: List[str]
+    ) -> None:
         """Differential check of the Section II-C classifier against the
         live data plane inside the fast-reroute window."""
         from ..core.failure_analysis import FailureCondition, analyze_scenario

@@ -16,7 +16,7 @@ trial without monkeypatching any module state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..sim.units import milliseconds
 from ..topology.graph import NodeKind
@@ -102,7 +102,7 @@ def _quiet_config(topology: str, ports: int) -> TrialConfig:
 # ------------------------------------------------------------ apply hooks
 
 
-def _withdraw_static_routes(bundle) -> None:
+def _withdraw_static_routes(bundle: Any) -> None:
     """Remove every ring backup route after convergence: condition 1
     should fast-reroute but the fall-through has nowhere to fall."""
     for switch in bundle.network.switches():
@@ -112,17 +112,17 @@ def _withdraw_static_routes(bundle) -> None:
             switch.fib.withdraw(entry.prefix)
 
 
-def _no_patch(bundle) -> None:
+def _no_patch(bundle: Any) -> None:
     """The fault is injected at build time (see ``backup_tie_break``)."""
 
 
-def _invert_fib_tie_break(bundle) -> None:
+def _invert_fib_tie_break(bundle: Any) -> None:
     """Make every FIB yield *shortest*-prefix-first: the resolver now
     prefers the /15-/16 statics over live routed /24s."""
     for switch in bundle.network.switches():
         fib = switch.fib
 
-        def shortest_first(address, _fib=fib):
+        def shortest_first(address: Any, _fib: Any = fib) -> Any:
             matching = [
                 e for e in _fib.entries() if e.prefix.contains(address)
             ]
@@ -132,13 +132,15 @@ def _invert_fib_tie_break(bundle) -> None:
         fib.matches = shortest_first
 
 
-def _drop_lsa_relays(bundle) -> None:
+def _drop_lsa_relays(bundle: Any) -> None:
     """Kill LSA relaying (direct floods from the originator still go
     out): routers far from a failure keep permanently stale LSDBs."""
     for protocol in bundle.protocols.values():
         original = protocol._flood
 
-        def relay_blackout(lsas, exclude, _original=original):
+        def relay_blackout(
+            lsas: Any, exclude: Any, _original: Any = original
+        ) -> Any:
             if exclude is not None:
                 return
             _original(lsas, exclude)
@@ -146,7 +148,7 @@ def _drop_lsa_relays(bundle) -> None:
         protocol._flood = relay_blackout
 
 
-def _disable_failure_detection(bundle) -> None:
+def _disable_failure_detection(bundle: Any) -> None:
     """Blind every link-liveness detector: the control plane never hears
     about the failure, so the black hole outlives any bound."""
     for link in bundle.network.links:
@@ -154,7 +156,7 @@ def _disable_failure_detection(bundle) -> None:
             detector.observe = lambda up: None
 
 
-def _corrupt_incremental_spf(bundle) -> None:
+def _corrupt_incremental_spf(bundle: Any) -> None:
     """Sabotage every protocol instance's incremental SPF updates: each
     successfully patched state has its ECMP route sets truncated to a
     single (valid shortest-path) member.  The truncation keeps forwarding
@@ -169,7 +171,9 @@ def _corrupt_incremental_spf(bundle) -> None:
         if engine is None:
             continue
 
-        def corrupted(state, new_fp, delta, _engine=engine):
+        def corrupted(
+            state: Any, new_fp: Any, delta: Any, _engine: Any = engine
+        ) -> Any:
             result = IncrementalSpfEngine._update_state(
                 _engine, state, new_fp, delta
             )
@@ -191,7 +195,7 @@ def _corrupt_incremental_spf(bundle) -> None:
         engine._update_state = corrupted
 
 
-def _leak_one_channel(bundle) -> None:
+def _leak_one_channel(bundle: Any) -> None:
     """Make one directed channel swallow packets without accounting:
     conservation (sent = delivered + dropped) breaks on that channel."""
     topo = bundle.topology

@@ -16,15 +16,18 @@ scenario profiles), the original config is returned unshrunk.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from .config import EventTuple, TrialConfig
 from .execute import CheckOutcome, concretize, execute_check
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .mutants import FaultMutant
+
 
 def shrink_config(
     config: TrialConfig,
-    mutant=None,
+    mutant: "Optional[FaultMutant]" = None,
     max_runs: int = 48,
 ) -> Tuple[TrialConfig, CheckOutcome]:
     """Minimize ``config``'s event sequence while preserving the violation.

@@ -449,6 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="also write the --sweep JSON report to this file",
     )
+    from .lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="simulation-safety static analysis: determinism, "
+        "serialization canonicality, seed discipline (see DESIGN.md §12)",
+    )
+    add_lint_arguments(lint)
     verify = sub.add_parser(
         "verify",
         help="statically prove (or refute) the F2Tree backup properties "
@@ -507,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_recover(args) -> int:
+def _cmd_recover(args: argparse.Namespace) -> int:
     from .experiments.testbed import run_testbed
     from .obs import Observability, render_breakdown
     from .sim.units import to_microseconds
@@ -539,7 +547,7 @@ def _cmd_recover(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from .obs import TraceAnalysisError, analyze_recovery, read_jsonl, render_breakdown
 
     try:
@@ -556,7 +564,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from .campaign.runner import run_campaign
     from .campaign.sweeps import SWEEPS
 
@@ -584,7 +592,7 @@ def _cmd_sweep(args) -> int:
     return 0 if not report.failed else 1
 
 
-def _cmd_check(args) -> int:
+def _cmd_check(args: argparse.Namespace) -> int:
     from .campaign.runner import run_campaign
     from .campaign.spec import TrialSpec
     from .check.bundle import BundleError, replay_bundle, write_bundle
@@ -674,7 +682,7 @@ def _cmd_check(args) -> int:
     return 1 if (report.failed or violating) else 0
 
 
-def _cmd_bench(args) -> int:
+def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         DEFAULT_TOLERANCE,
         check_regression,
@@ -715,7 +723,7 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args: argparse.Namespace) -> int:
     from .topology.graph import TopologyError
     from .verify import build_verify_topology, run_verification
 
@@ -761,7 +769,7 @@ def _cmd_verify(args) -> int:
     return 0 if report.certified else 1
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
         ExportError,
         Observability,
@@ -862,6 +870,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(args)
 
     wanted: List[str] = list(args.artifacts)
     if wanted == ["all"]:

@@ -19,7 +19,7 @@ covering prefixes: right distance-2 gets ``/14``, left distance-2 ``/13``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dataplane.network import Network
 from ..net.ip import Prefix
@@ -179,7 +179,7 @@ def render_routing_table(network: Network, switch: str, limit: int = 14) -> str:
     backups last (ordered right /16 before left /15, as in the paper)."""
     sw = network.switch(switch)
 
-    def order(e) -> tuple:
+    def order(e: FibEntry) -> Tuple[int, int, int]:
         if e.source == "static":
             return (1, -e.prefix.length, e.prefix.network)
         return (0, e.prefix.length, e.prefix.network)

@@ -27,10 +27,10 @@ the parallel links is detected up.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Protocol, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Protocol, TYPE_CHECKING, Tuple
 
 from ..net.ecmp import fnv1a_64, select_next_hop
-from ..net.fib import Fib, LOCAL
+from ..net.fib import Fib, FibEntry, LOCAL
 from ..net.ip import IPv4Address
 from ..net.packet import PROTO_ROUTING, Packet
 from ..obs.trace import EV_FIB_FALLTHROUGH, EV_PKT_DELIVER, EV_PKT_DROP
@@ -320,7 +320,9 @@ class SwitchNode(NetworkNode):
         links = self.live_links_to(next_hop)
         return select_next_hop(links, flow_key, self.salt ^ 0xA5A5)
 
-    def resolve(self, packet: Packet):
+    def resolve(
+        self, packet: Packet
+    ) -> Tuple[Optional[FibEntry], Optional[str]]:
         """The (entry, next hop) the switch would use for ``packet``.
 
         Walks FIB matches longest-first, pruning next hops whose adjacency
@@ -330,7 +332,9 @@ class SwitchNode(NetworkNode):
         entry, next_hop, _depth = self._resolve_indexed(packet)
         return entry, next_hop
 
-    def _resolve_indexed(self, packet: Packet):
+    def _resolve_indexed(
+        self, packet: Packet
+    ) -> Tuple[Optional[FibEntry], Optional[str], int]:
         """:meth:`resolve` plus how many matches were walked to get there.
 
         ``depth`` 0 means the longest match had a live next hop; >0 counts
@@ -357,7 +361,9 @@ class SwitchNode(NetworkNode):
             return None, None, depth
         return entry, select_next_hop(live, packet.flow_key, self.salt), depth
 
-    def _resolve_walk(self, dst: IPv4Address):
+    def _resolve_walk(
+        self, dst: IPv4Address
+    ) -> Tuple[Optional[FibEntry], Optional[List[str]], int]:
         """Uncached LPM fall-through: ``(entry, live hops, depth)``.
 
         Walks the (itself cached) FIB chain longest-first, pruning next

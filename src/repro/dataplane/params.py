@@ -15,6 +15,7 @@ Defaults reproduce the paper's measured / configured constants:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from ..sim.units import Time, microseconds, milliseconds
 
@@ -69,7 +70,7 @@ class NetworkParams:
     #: SPF/FIB convergence stay event-driven (see repro.sim.flow).
     backend: str = "packet"
 
-    def with_overrides(self, **changes) -> "NetworkParams":
+    def with_overrides(self, **changes: Any) -> "NetworkParams":
         """A copy with the given fields replaced (ablation harness hook)."""
         return replace(self, **changes)
 

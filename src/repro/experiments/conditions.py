@@ -11,7 +11,7 @@ length during reroute).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.f2tree import f2tree
 from ..core.failure_analysis import FailureAnalysis, analyze_scenario
@@ -108,7 +108,7 @@ def run_condition(
     across_ports: int = 2,
     params: Optional[NetworkParams] = None,
     seed: int = 1,
-    **recovery_kwargs,
+    **recovery_kwargs: Any,
 ) -> ConditionRun:
     """Run one Table IV condition on one topology.
 

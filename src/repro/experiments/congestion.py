@@ -22,7 +22,7 @@ link, so the offered load crosses the 1 Gbps boundary deterministically:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from ..core.backup_routes import ring_neighbors_of
 from ..core.f2tree import f2tree
@@ -32,6 +32,9 @@ from ..sim.units import Time, microseconds, milliseconds, seconds
 from ..topology.graph import NodeKind
 from ..transport.udp import UdpSender, UdpSink
 from .common import DEFAULT_WARMUP, build_bundle, hosts_left_to_right
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 
 @dataclass
@@ -60,7 +63,7 @@ def run_reroute_congestion(
     ports: int = 8,
     seed: int = 1,
     params: Optional[NetworkParams] = None,
-    obs=None,
+    obs: "Optional[Observability]" = None,
 ) -> CongestionResult:
     """Run ``hot_flows`` CBR flows through one aggregation switch into one
     rack, fail the rack link, and measure the fast-reroute window.

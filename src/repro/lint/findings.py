@@ -1,0 +1,59 @@
+"""Finding model shared by every lint rule.
+
+A :class:`Finding` is one violation at one source location.  Findings
+order by ``(path, line, rule, message)`` so that a lint run over the
+same tree is byte-identical regardless of filesystem enumeration order
+or rule registration order — the same determinism contract the rest of
+the reproduction holds itself to (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+#: a violation that must fail CI
+SEV_ERROR = "error"
+#: advisory only; reported but never changes the exit code on its own
+SEV_WARNING = "warning"
+
+_SEVERITIES = (SEV_ERROR, SEV_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One simulation-safety violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = SEV_ERROR
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        severity = str(data.get("severity", SEV_ERROR))
+        if severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        line = data["line"]
+        if not isinstance(line, int) or isinstance(line, bool):
+            raise ValueError(f"line must be an int, got {line!r}")
+        return cls(
+            path=str(data["path"]),
+            line=line,
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=severity,
+        )

@@ -21,7 +21,7 @@ JSON-safe dict, ``render()`` a prometheus-exposition-flavoured text dump.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Canonical key for a labelled metric: name plus sorted label pairs.
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
@@ -137,7 +137,9 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def _get(self, cls: type, name: str, labels: Dict[str, str], **extra):
+    def _get(
+        self, cls: type, name: str, labels: Dict[str, str], **extra: Any
+    ) -> Any:
         declared = self._types.get(name)
         if declared is not None and declared is not cls:
             raise TypeError(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -140,7 +141,7 @@ class TraceRecorder:
 
     # ------------------------------------------------------------ JSONL I/O
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: str | Path) -> int:
         """Write every recorded event as one JSON object per line."""
         with open(path, "w", encoding="utf-8") as handle:
             for event in self._events:
@@ -153,7 +154,7 @@ class TraceRecorder:
 NULL_TRACE = TraceRecorder(capacity=0, enabled=False)
 
 
-def read_jsonl(path) -> List[TraceEvent]:
+def read_jsonl(path: str | Path) -> List[TraceEvent]:
     """Load a trace previously written by :meth:`TraceRecorder.write_jsonl`."""
     events: List[TraceEvent] = []
     with open(path, "r", encoding="utf-8") as handle:

@@ -35,12 +35,12 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.backup_routes import RING_KINDS, backup_prefix_chain
 from ..net.fib import LOCAL, FibEntry
 from ..sim.randomness import RandomStreams
-from ..topology.graph import LinkKind, NodeKind, Topology
+from ..topology.graph import Link, LinkKind, NodeKind, Topology
 from .model import (
     _LAYER_RANK,
     DestSpec,
@@ -207,7 +207,9 @@ class VerifyReport:
         }
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+        # canonical key order: verification reports are diffed and
+        # committed as artifacts, so byte-identity matters here too
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def render(self, limit: int = 20) -> str:
         sev_counts = Counter()
@@ -410,7 +412,9 @@ def _scan(
     return defects
 
 
-def _edge_entry(succ, node: str, successor: str) -> FibEntry:
+def _edge_entry(
+    succ: Callable[[str], Any], node: str, successor: str
+) -> FibEntry:
     for next_hop, entry in succ(node) or ():
         if next_hop == successor:
             return entry
@@ -598,7 +602,7 @@ def _check_coverage(analysis: _Analysis, rec: _Recorder) -> Dict[str, Any]:
 
 def _examine_failure_set(
     analysis: _Analysis,
-    links,
+    links: Sequence[Link],
     rec: _Recorder,
     stats: Counter,
 ) -> None:
@@ -706,7 +710,7 @@ def _check_loop_freedom(
     links = model.fabric_links
     stats: Counter = Counter()
 
-    def is_downward(link) -> bool:
+    def is_downward(link: Link) -> bool:
         return (
             _LAYER_RANK[model.topo.node(link.a).kind]
             != _LAYER_RANK[model.topo.node(link.b).kind]
@@ -971,7 +975,7 @@ def run_verification(
     seed: int = 1,
     tie_break: str = "prefix-length",
     shortest_first: bool = False,
-    mutate_model=None,
+    mutate_model: Optional[Callable[[StaticNetworkModel], None]] = None,
 ) -> VerifyReport:
     """Statically verify one built topology; see the module docstring.
 

@@ -18,11 +18,11 @@ is lost — the whole point of the subsystem.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.fib import FibEntry
 from ..net.ip import Prefix
-from ..topology.graph import LinkKind, NodeKind, Topology
+from ..topology.graph import Link, LinkKind, NodeKind, Topology
 from .checks import (
     COVERAGE,
     LOOP_FREEDOM,
@@ -143,7 +143,7 @@ def _model_ring_order_swapped(model: StaticNetworkModel) -> None:
 # ----------------------------------------------------------- dynamic twins
 
 
-def _dynamic_withdraw_statics(bundle) -> None:
+def _dynamic_withdraw_statics(bundle: Any) -> None:
     for switch in bundle.network.switches():
         for entry in [
             e for e in switch.fib.entries() if e.source == "static"
@@ -151,13 +151,13 @@ def _dynamic_withdraw_statics(bundle) -> None:
             switch.fib.withdraw(entry.prefix)
 
 
-def _dynamic_invert_tie_break(bundle) -> None:
+def _dynamic_invert_tie_break(bundle: Any) -> None:
     """Shortest-prefix-first ``Fib.matches`` — identical instance patch
     to ``repro.check.mutants._invert_fib_tie_break``."""
     for switch in bundle.network.switches():
         fib = switch.fib
 
-        def shortest_first(address, _fib=fib):
+        def shortest_first(address: Any, _fib: Any = fib) -> Any:
             matching = [
                 e for e in _fib.entries() if e.prefix.contains(address)
             ]
@@ -167,7 +167,7 @@ def _dynamic_invert_tie_break(bundle) -> None:
         fib.matches = shortest_first
 
 
-def _dynamic_prefix_too_long(bundle) -> None:
+def _dynamic_prefix_too_long(bundle: Any) -> None:
     for switch in bundle.network.switches():
         statics = [
             e for e in switch.fib.entries() if e.source == "static"
@@ -186,7 +186,7 @@ def _dynamic_prefix_too_long(bundle) -> None:
 # -------------------------------------------------------------- miswirings
 
 
-def _pod0_agg_across(topo: Topology):
+def _pod0_agg_across(topo: Topology) -> List[Link]:
     aggs = {n.name for n in topo.pod_members(NodeKind.AGG, 0)}
     return [
         link

@@ -17,7 +17,7 @@ the verifier's abstraction of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING, Tuple
 
 from ..net.fib import LOCAL, FibEntry
 from ..net.ip import IPv4Address, Prefix
@@ -25,6 +25,9 @@ from ..dataplane.params import NetworkParams
 from ..sim.units import milliseconds
 from ..topology.graph import Topology
 from .checks import Witness
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataplane.network import Network
 
 #: forwarding graph: switch -> [(next hop, entry)] of its first live match
 _Edges = Dict[str, List[Tuple[str, FibEntry]]]
@@ -45,7 +48,9 @@ class ReplayResult:
     timing_violations: int = 0
 
 
-def _live_forwarding(network, address: IPv4Address) -> Tuple[_Edges, Set[str]]:
+def _live_forwarding(
+    network: "Network", address: IPv4Address
+) -> Tuple[_Edges, Set[str]]:
     """The effective forwarding graph toward ``address`` right now, plus
     the switches that deliver locally.  Reads the patched ``fib.matches``
     so instance-level mutations (e.g. inverted tie-break) are honoured."""
@@ -84,7 +89,7 @@ def _reaches_delivery(edges: _Edges, delivers: Set[str], start: str) -> bool:
 
 
 def _observe(
-    network, witness: Witness, observations: List[ReplayResult]
+    network: "Network", witness: Witness, observations: List[ReplayResult]
 ) -> None:
     from ..check.invariants import find_cycles
 

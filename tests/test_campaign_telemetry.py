@@ -1,6 +1,6 @@
 """Tests for campaign telemetry: the deterministic span-tree merge, the
 worker-count byte-identity guarantee in telemetry mode, and the ``repro
-trace`` CLI (including the 0/1/2 exit-code convention shared by all five
+trace`` CLI (including the 0/1/2 exit-code convention shared by all six
 operational subcommands)."""
 
 from __future__ import annotations
@@ -263,3 +263,7 @@ class TestExitCodeConvention:
     def test_trace_usage_error(self, tmp_path, capsys):
         assert main(["trace", "--validate", str(tmp_path / "nope.json")]) == 2
         assert "cannot validate" in capsys.readouterr().err
+
+    def test_lint_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        assert "no such path" in capsys.readouterr().err

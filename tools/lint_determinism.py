@@ -1,243 +1,58 @@
 #!/usr/bin/env python3
-"""AST lint: keep wall clocks and unseeded randomness out of the repro.
+"""DEPRECATED shim — the determinism lint now lives in ``repro.lint``.
 
-The reproduction's byte-identical-replay guarantee (DESIGN.md §5) holds
-only if every event-emitting code path is a pure function of the seed
-and the simulated clock.  This lint turns that convention into a CI
-gate.  Under ``src/repro/`` it forbids:
+This script survives for one release so the old CI invocation
+(``python tools/lint_determinism.py [paths...]``) and muscle-memory
+usage keep working.  It delegates to :mod:`repro.lint` restricted to
+the five migrated determinism rules (wall-clock, perf-counter,
+module-random, set-iteration, span-id) and keeps the historical output
+and exit codes (0 clean, 1 findings, 2 usage error).
 
-* wall-clock reads: ``time.time()``, ``time.time_ns()``,
-  ``datetime.now()``, ``datetime.utcnow()``, ``datetime.today()``,
-  ``date.today()`` — simulated time comes from ``Simulator.now``;
-* high-resolution timing: ``time.perf_counter()`` /
-  ``time.perf_counter_ns()`` — model code must never branch on how long
-  something took to compute; only the benchmark harness
-  (``benchmarks/`` and ``repro/bench.py``) may stopwatch itself;
-* module-level randomness: any call through the ``random`` module
-  (``random.random()``, ``random.choice()``, ...) except constructing a
-  seeded ``random.Random``/``random.SystemRandom`` instance — draws come
-  from :mod:`repro.sim.randomness` streams;
-* iteration over bare ``set`` displays/calls in ``for`` statements and
-  comprehensions — with ``PYTHONHASHSEED`` unpinned, set order varies
-  per process; iterate something ordered (or ``sorted(...)`` it);
-* identity-derived output in the span/export layer
-  (``obs/spans.py``, ``obs/export.py``): bare ``id()`` / ``hash()``
-  calls are forbidden there — span identity must come from
-  ``sim.randomness.derive_seed`` or sequence counters, never from
-  interpreter object identity, which varies per process.
-
-``sim/randomness.py`` itself is allowlisted: it is the one place allowed
-to touch the ``random`` module.
-
-Exit codes: 0 clean, 1 findings, 2 usage error.
+Use ``python -m repro lint`` instead: it runs the full simulation-safety
+rule catalog over src/, tests/, benchmarks/, and tools/, supports
+``# repro-lint: ignore[rule-id]`` suppressions, ``--json``, and the
+seeded-violation selftest (``--selftest``).  See DESIGN.md §12.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import sys
-from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
-#: dotted-call suffixes that read a wall clock
-WALL_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-}
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
 
-#: dotted-call suffixes that stopwatch elapsed wall time.  Allowed only
-#: in the benchmark harness — ``time.monotonic`` is deliberately *not*
-#: here (the campaign runner and CLI use it for operator-facing timeout
-#: bookkeeping that never feeds back into simulated behaviour).
-PERF_COUNTER_CALLS = {
-    "time.perf_counter",
-    "time.perf_counter_ns",
-}
+from repro.lint import DETERMINISM_RULE_IDS, Finding, rules_by_id  # noqa: E402
+from repro.lint import engine as _engine  # noqa: E402
 
-#: attributes of the ``random`` module that are fine to call (seeded or
-#: explicitly operator-facing RNG construction)
-RANDOM_ALLOWED = {"Random", "SystemRandom"}
+#: kept under the historical name for importers of the old module
+LintFinding = Finding
 
-#: path suffixes exempt from the module-level-randomness rule
-ALLOWLIST_SUFFIXES = ("sim/randomness.py",)
-
-#: path suffixes where the perf-counter rule does not apply (the
-#: benchmark harness is the one place allowed to time itself)
-PERF_ALLOWLIST_SUFFIXES = ("repro/bench.py",)
-
-#: path components that mark a whole directory as benchmark code
-PERF_ALLOWLIST_DIRS = ("benchmarks",)
-
-#: builtins whose results depend on interpreter object identity /
-#: PYTHONHASHSEED — forbidden where output identity must be stable
-IDENTITY_CALLS = {"id", "hash"}
-
-#: path suffixes where the span-id rule applies: modules whose *output*
-#: (span ids, export lanes) must be byte-identical across processes
-SPAN_ID_STRICT_SUFFIXES = ("obs/spans.py", "obs/export.py")
+_DEPRECATION = (
+    "tools/lint_determinism.py is deprecated; run `python -m repro lint` "
+    "for the full simulation-safety rule catalog (DESIGN.md §12)"
+)
 
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One determinism violation."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+def _rules() -> list:
+    return rules_by_id(DETERMINISM_RULE_IDS)
 
 
-def _dotted(node: ast.AST) -> str:
-    """The dotted name of an attribute/name chain ('' if not one)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one module with the five migrated determinism rules."""
+    return _engine.lint_source(source, path, rules=_rules())
 
 
-def _is_bare_set(node: ast.AST) -> bool:
-    """A set display, set comprehension, or set()/frozenset() call."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        func = node.func
-        return isinstance(func, ast.Name) and func.id in ("set", "frozenset")
-    return False
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        path: str,
-        allow_random: bool,
-        allow_perf: bool = False,
-        strict_ids: bool = False,
-    ) -> None:
-        self.path = path
-        self.allow_random = allow_random
-        self.allow_perf = allow_perf
-        self.strict_ids = strict_ids
-        self.findings: List[LintFinding] = []
-
-    def _add(self, node: ast.AST, rule: str, message: str) -> None:
-        self.findings.append(
-            LintFinding(self.path, getattr(node, "lineno", 0), rule, message)
-        )
-
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = _dotted(node.func)
-        for suffix in WALL_CLOCK_CALLS:
-            if dotted == suffix or dotted.endswith("." + suffix):
-                self._add(
-                    node, "wall-clock",
-                    f"{dotted}() reads the wall clock; use the simulated "
-                    f"clock (Simulator.now)",
-                )
-                break
-        if not self.allow_perf:
-            for suffix in PERF_COUNTER_CALLS:
-                if dotted == suffix or dotted.endswith("." + suffix):
-                    self._add(
-                        node, "perf-counter",
-                        f"{dotted}() stopwatches wall time; only the "
-                        f"benchmark harness (benchmarks/, repro/bench.py) "
-                        f"may time itself",
-                    )
-                    break
-        if not self.allow_random:
-            func = node.func
-            if (
-                isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "random"
-                and func.attr not in RANDOM_ALLOWED
-            ):
-                self._add(
-                    node, "module-random",
-                    f"random.{func.attr}() uses the shared module RNG; "
-                    f"draw from a seeded repro.sim.randomness stream",
-                )
-        if self.strict_ids:
-            func = node.func
-            if isinstance(func, ast.Name) and func.id in IDENTITY_CALLS:
-                self._add(
-                    node, "span-id",
-                    f"{func.id}() depends on interpreter object identity; "
-                    f"span/export identity must derive from "
-                    f"sim.randomness.derive_seed or sequence counters",
-                )
-        self.generic_visit(node)
-
-    def _check_iter(self, node: ast.AST, iter_node: ast.AST) -> None:
-        if _is_bare_set(iter_node):
-            self._add(
-                node, "set-iteration",
-                "iteration over a bare set is hash-order dependent; "
-                "sort it (or iterate something ordered)",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def _visit_comprehension(self, node) -> None:
-        for comp in node.generators:
-            self._check_iter(node, comp.iter)
-        self.generic_visit(node)
-
-    visit_ListComp = _visit_comprehension
-    visit_SetComp = _visit_comprehension
-    visit_DictComp = _visit_comprehension
-    visit_GeneratorExp = _visit_comprehension
-
-
-def lint_source(source: str, path: str) -> List[LintFinding]:
-    """Lint one module's source text; ``path`` labels the findings and
-    drives the allowlist."""
-    normalized = str(path).replace("\\", "/")
-    allow_random = normalized.endswith(ALLOWLIST_SUFFIXES)
-    allow_perf = normalized.endswith(PERF_ALLOWLIST_SUFFIXES) or any(
-        part in PERF_ALLOWLIST_DIRS for part in normalized.split("/")
-    )
-    strict_ids = normalized.endswith(SPAN_ID_STRICT_SUFFIXES)
-    tree = ast.parse(source, filename=str(path))
-    visitor = _Visitor(str(path), allow_random, allow_perf, strict_ids)
-    visitor.visit(tree)
-    return visitor.findings
-
-
-def lint_paths(paths: Iterable[pathlib.Path]) -> List[LintFinding]:
+def lint_paths(paths: Iterable[pathlib.Path]) -> List[Finding]:
     """Lint every ``.py`` file under the given files/directories."""
-    findings: List[LintFinding] = []
-    for root in paths:
-        files = (
-            sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        )
-        for file in files:
-            findings.extend(lint_source(file.read_text(), str(file)))
-    return findings
+    return _engine.lint_paths(paths, rules=_rules())
 
 
 def main(argv: Sequence[str]) -> int:
-    targets = [pathlib.Path(arg) for arg in argv] or [
-        pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-    ]
+    print(_DEPRECATION, file=sys.stderr)
+    targets = [pathlib.Path(arg) for arg in argv] or [_REPO / "src" / "repro"]
     missing = [t for t in targets if not t.exists()]
     if missing:
         print(
