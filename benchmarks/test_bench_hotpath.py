@@ -15,11 +15,14 @@ same thing on any hardware:
   construction: timestamp ties cost the optimized list entries extra
   element compares while the dataclass reference always paid full
   tuple construction — see ``bench_event_batch``'s docstring),
-* fluid backend at k=32:    >= 10x the packet backend's extrapolated
+* vectorized fair share:    >= 5x the pure-python water-filling
+  reference at bench scale (>= 10k flows; the engines agree bitwise,
+  so this is pure speed),
+* fluid backend at k=48:    >= 10x the packet backend's extrapolated
   cost (the ISSUE's scale-win acceptance bar; the extrapolation is
-  deliberately conservative — see ``bench_flow_backend``'s docstring —
-  so the measured ~50x leaves real margin), and the k=32 fluid trial
-  itself must finish inside its absolute wall-clock budget.
+  deliberately conservative — see ``bench_flow_backend``'s docstring),
+  and the k=48 fluid trial itself must finish inside its absolute
+  wall-clock budget.
 
 The absolute events/packets/tables per second land in
 ``BENCH_hotpath.json`` at the repo root — the committed copy is the
@@ -40,7 +43,11 @@ BENCH_FILE = pathlib.Path(__file__).parent.parent / "BENCH_hotpath.json"
 RATIO_FLOOR = 3.0
 
 #: per-section overrides of the default floor
-RATIO_FLOORS = {"event_batch": 1.8, "flow_backend": 10.0}
+RATIO_FLOORS = {
+    "event_batch": 1.8,
+    "fairshare_vector": 5.0,
+    "flow_backend": 10.0,
+}
 
 #: a section below the floor is re-measured this many extra times (a
 #: noisy-neighbor CI box can depress one sample; a real regression
@@ -56,20 +63,25 @@ def test_bench_hotpath(emit):
     result = run_hotpath_bench(quick=False, campaign=False)
     for _ in range(RETRIES):
         if all(
-            result[section]["ratio"] >= _floor(section)
+            result[section].get("ratio", 0.0) >= _floor(section)
             for section in GATED_SECTIONS
         ):
             break
         retry = run_hotpath_bench(quick=False, campaign=False)
         for section in GATED_SECTIONS:
-            if retry[section]["ratio"] > result[section]["ratio"]:
+            if retry[section].get("ratio", 0.0) > result[section].get("ratio", 0.0):
                 result[section] = retry[section]
 
     BENCH_FILE.write_text(to_json(result))
 
-    ev, eb, fw, spf, inc, flow = (
+    ev, eb, fw, spf, inc, fair, flow = (
         result["event_loop"], result["event_batch"], result["forwarding"],
-        result["spf"], result["spf_incremental"], result["flow_backend"],
+        result["spf"], result["spf_incremental"],
+        result["fairshare_vector"], result["flow_backend"],
+    )
+    assert fair.get("numpy"), (
+        "fairshare_vector: numpy unavailable — the recorded baseline "
+        "must include the vector engine's ratio"
     )
     emit(
         "Hot-path throughput (optimized vs in-harness naive reference):\n"
@@ -79,14 +91,18 @@ def test_bench_hotpath(emit):
         f"naive {eb['naive_eps']:>9,}/s  -> {eb['ratio']:.1f}x "
         f"({eb['batch_ratio']:.2f}x over unbatched)\n"
         f"  forwarding: {fw['optimized_pps']:>10,} packets/s "
-        f"naive {fw['naive_pps']:>9,}/s  -> {fw['ratio']:.1f}x\n"
+        f"naive {fw['naive_pps']:>9,}/s  -> {fw['ratio']:.1f}x "
+        f"(chain cache {fw['cache']['hit_rate']:.1%} hits)\n"
         f"  SPF oracle: {spf['optimized_sps']:>10,} tables/s  "
         f"naive {spf['naive_sps']:>9,}/s  -> {spf['ratio']:.1f}x\n"
         f"  SPF churn:  {inc['optimized_sps']:>10,} tables/s  "
         f"full-SPF {inc['naive_sps']:>7,}/s  -> {inc['ratio']:.1f}x "
         f"({inc['incremental_updates']:,} incremental, "
         f"{inc['full_computes']:,} full)\n"
-        f"  fluid k=32: {flow['flow_s']:.1f}s measured vs "
+        f"  fair share: {fair['optimized_fps']:>10,} flows/s  "
+        f"python {fair['naive_fps']:>8,}/s  -> {fair['ratio']:.1f}x "
+        f"at {fair['flows']:,} flows\n"
+        f"  fluid k={flow['target_ports']}: {flow['flow_s']:.1f}s measured vs "
         f"{flow['projected_packet_s']:.0f}s projected packet "
         f"-> {flow['ratio']:.1f}x "
         f"(events^{flow['fit_exponent']:.2f} fit, "
@@ -95,9 +111,9 @@ def test_bench_hotpath(emit):
     )
 
     for section in GATED_SECTIONS:
-        assert result[section]["ratio"] >= _floor(section), (
-            f"{section}: {result[section]['ratio']:.2f}x is below the "
-            f"{_floor(section)}x acceptance floor\n"
+        assert result[section].get("ratio", 0.0) >= _floor(section), (
+            f"{section}: {result[section].get('ratio', 0.0):.2f}x is below "
+            f"the {_floor(section)}x acceptance floor\n"
             + json.dumps(result[section], indent=2)
         )
     assert flow["within_budget"], (

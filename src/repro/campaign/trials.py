@@ -18,6 +18,13 @@ Kinds
 ``congestion``
     One load level of the backup-path congestion probe
     (:func:`repro.experiments.congestion.run_reroute_congestion`).
+``flow-fig6``
+    One Fig 6 cell on the fluid backend
+    (:func:`repro.experiments.partition_aggregate.run_flow_partition_aggregate`):
+    partition-aggregate requests as reliable fluid flows under random
+    failures, reporting the deadline-miss ratio and the FCT
+    p50/p95/p99 tail (the :data:`repro.campaign.telemetry.QUANTILES`
+    convention).
 ``check``
     One fuzzed invariant-check trial (:mod:`repro.check`): the trial's
     seed fully determines the generated configuration, so a campaign of
@@ -204,6 +211,55 @@ def run_congestion_trial(
         "across_queue_drops": result.across_queue_drops,
         "saturated": result.saturated,
     }
+
+
+@register_trial("flow-fig6")
+def run_flow_fig6_trial(
+    ctx: TrialContext,
+    topology: str = "f2tree",
+    ports: int = 8,
+    concurrent_failures: int = 1,
+    duration_s: float = 10.0,
+    n_requests: int = 40,
+    n_background_flows: int = 20,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One Fig 6 cell on the fluid backend: deadline-miss ratio plus the
+    completion-time tail at the telemetry quantiles (p50/p95/p99)."""
+    from ..experiments.partition_aggregate import (
+        PartitionAggregateConfig,
+        run_flow_partition_aggregate,
+    )
+    from ..sim.units import seconds
+    from .telemetry import QUANTILES
+
+    network_params, rest = split_network_params(params)
+    if rest:
+        raise CampaignError(f"unknown flow-fig6 trial parameters: {sorted(rest)}")
+    config = PartitionAggregateConfig(
+        duration=seconds(duration_s),
+        n_requests=n_requests,
+        n_background_flows=n_background_flows,
+        concurrent_failures=concurrent_failures,
+        ports=ports,
+        seed=ctx.seed,
+    )
+    result = run_flow_partition_aggregate(topology, config, network_params)
+    payload: Dict[str, Any] = {
+        "kind": result.kind,
+        "requests": result.stats.total,
+        "completed": sum(
+            1 for r in result.stats.records if r.completed_at is not None
+        ),
+        "deadline_miss_ratio": result.deadline_miss_ratio,
+        "n_failures": result.n_failures,
+        "average_concurrency": result.average_concurrency,
+        "background_completed": result.background_completed,
+        "background_total": result.background_total,
+    }
+    for q in QUANTILES:
+        payload[f"fct_p{q}_ms"] = to_milliseconds(result.stats.percentile(q))
+    return payload
 
 
 @register_trial("check")

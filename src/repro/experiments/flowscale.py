@@ -4,7 +4,9 @@ The packet backend's cost is dominated by per-packet events — initial
 LSA flooding alone is O(V·E) control packets, and probe traffic adds a
 packet per 100 us per flow — which caps it around k=8 fat trees.  This
 module composes the three scale mechanisms of :mod:`repro.sim.flow`
-into one runnable trial at k=32 (1280 switches):
+into one runnable trial at production scale — k=32 (1280 switches) by
+default, k=48 (2880 switches, 3.3M warm-started FIB entries) in the
+bench gate:
 
 1. :func:`~repro.sim.flow.warmstart.warm_start_linkstate` builds the
    converged control plane directly (no initial flooding events) and

@@ -122,6 +122,74 @@ def run_partition_aggregate(
     )
 
 
+def run_flow_partition_aggregate(
+    kind: str,
+    config: Optional[PartitionAggregateConfig] = None,
+    params: Optional[NetworkParams] = None,
+) -> PartitionAggregateResult:
+    """One Fig 6 cell on the **fluid backend**.
+
+    Same topology, failure schedule and request/background draws as
+    :func:`run_partition_aggregate` (the workloads mirror the packet
+    twins' random streams draw for draw — see
+    :mod:`repro.workloads.flow_partition_aggregate`), but responses and
+    transfers are reliable fluid flows, so the run scales to request
+    counts and fabrics the per-packet backend cannot reach.  Returns
+    the same :class:`PartitionAggregateResult` shape; completion times
+    are read analytically after the drain.
+    """
+    from ..sim.flow.model import FluidTrafficModel
+    from ..workloads.flow_partition_aggregate import (
+        FlowBackgroundTraffic,
+        FlowPartitionAggregateWorkload,
+    )
+
+    config = config or PartitionAggregateConfig.default()
+    topology = conditions_topology(kind, config.ports)
+    flow_params = (params or NetworkParams()).with_overrides(backend="flow")
+    bundle = build_bundle(topology, params=flow_params, seed=config.seed)
+    bundle.converge(DEFAULT_WARMUP)
+    model = bundle.flow_model
+    assert isinstance(model, FluidTrafficModel)
+
+    workload = FlowPartitionAggregateWorkload(
+        bundle.network, model, bundle.streams, n_requests=config.n_requests
+    )
+    background = FlowBackgroundTraffic(bundle.network, model, bundle.streams)
+
+    start = DEFAULT_WARMUP
+    workload.schedule(start, config.duration)
+    background.schedule(config.n_background_flows, start, config.duration)
+
+    pattern = paper_failure_pattern(config.concurrent_failures, config.duration)
+    events = generate_random_failures(
+        topology, pattern, config.duration, bundle.streams, start=start
+    )
+    schedule_failures(bundle.network, events)
+    n_failures, avg_concurrency = concurrency_profile(
+        [e for e in events], config.duration
+    )
+
+    # same drain as the packet run: OSPF backoff settles and reliable
+    # backlogs accumulated during outages get time to drain
+    end = start + config.duration + seconds(15)
+    bundle.sim.run(until=end)
+    model.finalize()
+    workload.collect()
+    background.collect()
+    workload.stats.censored_at = end
+
+    return PartitionAggregateResult(
+        kind=kind,
+        config=config,
+        stats=workload.stats,
+        n_failures=n_failures,
+        average_concurrency=avg_concurrency,
+        background_completed=background.completed,
+        background_total=len(background.flows),
+    )
+
+
 @dataclass
 class FigureSixData:
     """Both panels of Fig 6 for one failure level."""

@@ -520,6 +520,33 @@ class HeappushUnsortedRule(Rule):
 
 
 @register
+class FlowDictIterationRule(Rule):
+    id = "flow-dict-iteration"
+    summary = (
+        "unsorted iteration over a dict view inside the fluid backend "
+        "(repro/sim/flow); flow-id dict order must be canonical"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # the fluid backend accumulates floats and schedules events per
+        # flow; every iteration order over a flow-keyed dict can reach a
+        # rate trajectory, so the whole package must iterate canonically
+        return _has_dir(path, "repro/sim/flow") or _has_dir(
+            path, "src/repro/sim/flow"
+        )
+
+    def on_iteration(self, node: ast.AST, iter_node: ast.AST, ctx: Context) -> None:
+        if _is_dict_view(iter_node):
+            ctx.add(
+                self, node,
+                "iteration over a dict view in the fluid backend inherits "
+                "insertion order; float accumulation and event scheduling "
+                "make that order observable — iterate sorted(names) and "
+                "index, or wrap .items() in sorted(...)",
+            )
+
+
+@register
 class UnusedSuppressionRule(Rule):
     id = "unused-suppression"
     summary = (

@@ -119,6 +119,18 @@ FIXTURES: Tuple[Fixture, ...] = (
         ),
     ),
     Fixture(
+        rule="flow-dict-iteration",
+        path="src/repro/sim/flow/example.py",
+        source=(
+            "for name, flow in active.items():\n"
+            "    advance(flow)\n"
+        ),
+        clean=(
+            "for name in sorted(active):\n"
+            "    advance(active[name])\n"
+        ),
+    ),
+    Fixture(
         rule="unused-suppression",
         path=_SRC,
         source="budget = 1  # repro-lint: ignore[wall-clock]\n",

@@ -207,6 +207,55 @@ class Fib:
         if mutated:
             self._changed()
 
+    def bulk_load(self, entries: Tuple[FibEntry, ...]) -> None:
+        """Install a whole entry batch under one generation bump.
+
+        Observably equivalent to ``apply_delta(FibDelta(entries, ()))``
+        — same resulting trie, same churn counters, same single
+        generation bump and listener fan-out — but built for the
+        warm-start path, where every switch loads thousands of entries
+        at once: instead of walking the trie from the root per entry,
+        the walk keeps the node path of the previous insertion and
+        descends only below the longest common bit prefix.  Entries
+        sorted by prefix (warm start's canonical order) share most of
+        their high bits with their neighbours, so the amortized walk is
+        a few bits per entry instead of ``prefix.length``.
+        """
+        if not entries:
+            return
+        # stack[d] is the node at depth d along the previous entry's path
+        stack: list[Optional[_TrieNode]] = [None] * 33
+        stack[0] = self._root
+        prev_network = 0
+        prev_depth = 0
+        count_gained = 0
+        for entry in entries:
+            prefix = entry.prefix
+            network = prefix.network
+            length = prefix.length
+            diff = (network ^ prev_network) >> (32 - prev_depth) if prev_depth else 0
+            common = prev_depth - diff.bit_length()
+            if common > length:
+                common = length
+            node = stack[common]
+            assert node is not None
+            for bit_index in range(common, length):
+                bit = (network >> (31 - bit_index)) & 1
+                child = node.children[bit]
+                if child is None:
+                    child = _TrieNode()
+                    node.children[bit] = child
+                node = child
+                stack[bit_index + 1] = node
+            if node.entry is None:
+                count_gained += 1
+            node.entry = entry
+            prev_network = network
+            prev_depth = length
+        self._count += count_gained
+        self.installs += len(entries)
+        self._changed()
+
     def exact(self, prefix: Prefix) -> Optional[FibEntry]:
         """The entry installed for exactly ``prefix``, if any."""
         node = self._root

@@ -9,6 +9,7 @@ refresh interval).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -43,12 +44,50 @@ class Lsdb:
         return self._by_origin.get(origin)
 
     def insert(self, lsa: Lsa) -> bool:
-        """Store ``lsa`` if it is fresher; returns True when stored."""
-        if lsa.newer_than(self._by_origin.get(lsa.origin)):
-            self._by_origin[lsa.origin] = lsa
-            self._fingerprint = None
-            return True
-        return False
+        """Store ``lsa`` if it is fresher; returns True when stored.
+
+        When the fingerprint is already materialized it is patched in
+        place (one bisect + tuple splice, O(V) pointer copies) instead
+        of being invalidated — a post-failure flood otherwise makes
+        every switch re-sort its whole database per received LSA, which
+        at k=48 is the single largest reconvergence cost.  A seq-only
+        refresh leaves the fingerprint object untouched, preserving the
+        cache-hit behaviour the docstring of :meth:`fingerprint` pins.
+        """
+        old = self._by_origin.get(lsa.origin)
+        if not lsa.newer_than(old):
+            return False
+        self._by_origin[lsa.origin] = lsa
+        fp = self._fingerprint
+        if fp is not None:
+            entry = (lsa.origin, lsa.neighbors, lsa.prefixes)
+            if old is not None:
+                stale = (old.origin, old.neighbors, old.prefixes)
+                if stale == entry:
+                    return True
+                i = bisect_left(fp, stale)
+                fp = fp[:i] + fp[i + 1:]
+            j = bisect_left(fp, entry)
+            self._fingerprint = fp[:j] + (entry,) + fp[j:]
+        return True
+
+    def load(self, reference: "Lsdb") -> None:
+        """Bulk-populate from a converged reference database.
+
+        Semantically identical to inserting every LSA of ``reference`` in
+        turn (LSAs are immutable, so sharing them across databases is
+        safe), but an empty receiver takes the dict-copy fast path and
+        inherits the reference's already-computed fingerprint — this is
+        what collapses warm start's O(V²) per-switch insert loop into V
+        dict copies, and keeps the batch-SPF oracle's fingerprint-keyed
+        cache hot without V re-sorts.
+        """
+        if self._by_origin:
+            for lsa in reference._by_origin.values():
+                self.insert(lsa)
+            return
+        self._by_origin = dict(reference._by_origin)
+        self._fingerprint = reference._fingerprint
 
     def fingerprint(self) -> Tuple:
         """A hashable digest of the *routing-relevant* content.
@@ -58,9 +97,9 @@ class Lsdb:
         fingerprint deliberately omits ``seq``.  Two databases with equal
         fingerprints yield identical route tables for every origin, which
         is what lets the SPF cache share results across seq-only
-        refreshes, switches, and trials.  Lazily computed, invalidated on
-        every stored insert; a seq-only refresh recomputes to an *equal*
-        tuple, so downstream caches still hit.
+        refreshes, switches, and trials.  Lazily computed on first use,
+        then patched incrementally by :meth:`insert`; a seq-only refresh
+        leaves the tuple untouched, so downstream caches still hit.
         """
         fp = self._fingerprint
         if fp is None:

@@ -5,12 +5,22 @@ piecewise-constant fluid flows whose rates are max-min fair shares of
 the link capacities, while the control plane (failure detection, LSA
 flooding, SPF throttling, FIB downloads) keeps running event-driven on
 the unchanged engine.  See :mod:`repro.sim.flow.model` for the model,
-:mod:`repro.sim.flow.fairshare` for the solver, and
-:mod:`repro.sim.flow.warmstart` for the batch warm start that makes
-k=32 fabrics tractable.
+:mod:`repro.sim.flow.fairshare` for the solver (vectorized and python
+engines over one CSR incidence), and :mod:`repro.sim.flow.warmstart`
+for the batch warm start that makes k=32/k=48 fabrics tractable.
 """
 
-from .fairshare import FairShareError, FlowId, LinkId, link_loads, max_min_rates
+from .fairshare import (
+    ENGINES,
+    FairShareError,
+    FlowIncidence,
+    FlowId,
+    LinkId,
+    build_incidence,
+    have_numpy,
+    link_loads,
+    max_min_rates,
+)
 from .model import (
     PRIORITY_FLOW,
     FlowSegment,
@@ -20,9 +30,13 @@ from .model import (
 )
 
 __all__ = [
+    "ENGINES",
     "FairShareError",
+    "FlowIncidence",
     "FlowId",
     "LinkId",
+    "build_incidence",
+    "have_numpy",
     "link_loads",
     "max_min_rates",
     "PRIORITY_FLOW",

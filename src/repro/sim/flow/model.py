@@ -21,7 +21,7 @@ How a flow's rate is determined at any instant:
 2. link capacity is divided max-min fairly among the flows crossing it
    (:func:`repro.sim.flow.fairshare.max_min_rates`), with CBR flows
    capped at their offered rate;
-3. the resulting ``(rate, path delay, hop count)`` triple is appended to
+3. the resulting ``(rate, path delay, hops count)`` triple is appended to
    the flow's segment timeline.
 
 Recomputation is **change-driven, not polled**: the model subscribes to
@@ -30,6 +30,20 @@ detected-adjacency epoch bumps, actual link up/down) and coalesces all
 notifications within one simulated instant into a single recompute
 event at :data:`PRIORITY_FLOW` — after control-plane and delivery
 events of the same instant, before the checker's probes.
+
+A recompute is itself **incremental** (DESIGN §13).  Listeners record
+*which node* changed, and a per-flow path cache remembers the set of
+nodes each resolution consulted — ``trace_route`` appends a node to the
+path before reading any of its state, so the path's node set *is* the
+consulted-state set, and a cached path stays provably valid while none
+of its nodes change.  Only flows whose solver input actually moved —
+path or demand — are re-solved, together with every flow sharing their
+(old or new) bottleneck component; max-min allocations decompose
+exactly over connected components of the flow/link sharing graph, so
+rates of untouched components are reused verbatim.  When the affected
+set is a large fraction of the active flows (or the flow population is
+small) the model falls back to one full solve, whose float trajectory
+matches the non-incremental reference bit for bit.
 
 What the fluid view *cannot* observe (documented in DESIGN §11):
 per-packet ECMP spraying (a flow follows one hashed path), transient
@@ -40,8 +54,9 @@ store-and-forward latency).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ...net.packet import PROTO_UDP
 from ..engine import Simulator
@@ -57,6 +72,14 @@ PRIORITY_FLOW = 50
 #: Tolerance for "delivered a full packet's worth of credit" — absorbs
 #: float error in rate × interval accumulation, far below one packet.
 _CREDIT_EPS = 1e-9
+
+#: A directed link as the solver identifies it: (from node, to node).
+_Link = Tuple[str, str]
+
+#: One flow's solver-visible state: (links crossed, demand cap or None
+#: for elastic).  ``None`` as a whole means "not in the solve" (no live
+#: path).  Rates must be recomputed exactly when this value moves.
+_SolverInput = Optional[Tuple[Tuple[_Link, ...], Optional[float]]]
 
 
 @dataclass(frozen=True)
@@ -102,6 +125,23 @@ class FlowSegment:
     rate: float
     delay: Time
     hops: int
+
+
+@dataclass(frozen=True)
+class _ResolvedPath:
+    """A cached path resolution and its invalidation key.
+
+    ``visited`` is the (sorted, unique) set of nodes the resolution
+    consulted: ``trace_route`` appends each node to the path *before*
+    reading its FIB, its detected adjacencies, or the actual state of a
+    link it terminates — so while none of these nodes is reported
+    changed, re-resolving is guaranteed to reproduce this exact result.
+    """
+
+    links: Optional[Tuple[_Link, ...]]
+    delay: Time
+    hops: int
+    visited: Tuple[str, ...]
 
 
 @dataclass
@@ -217,6 +257,32 @@ class FluidFlow:
             (t0, t1) for t0, t1, seg in self._segment_spans() if seg.rate <= 0.0
         ]
 
+    def completion_time(self) -> Optional[Time]:
+        """Instant the last offered byte lands at the receiver, or None
+        if the flow never delivered everything it offered.
+
+        The fluid FCT: walk the segment timeline integrating delivered
+        bytes until they reach the total offer (with the same
+        half-packet slack the backlog test uses), then add the path
+        latency in force at that instant.  A reliable flow completes
+        once its backlog drains; a CBR flow only if it was never starved.
+        """
+        spec = self.spec
+        total = self.offered_bytes(spec.stop)
+        if total <= 0.5:
+            return None
+        target = total - 0.5
+        delivered = 0.0
+        for t0, t1, seg in self._segment_spans():
+            if seg.rate <= 0.0:
+                continue
+            chunk = seg.rate * (t1 - t0)
+            if delivered + chunk >= target:
+                dt = (target - delivered) / seg.rate
+                return t0 + int(math.ceil(dt)) + seg.delay
+            delivered += chunk
+        return None
+
     @property
     def received(self) -> int:
         """Delivered packet count (CBR view)."""
@@ -232,37 +298,107 @@ class FluidTrafficModel:
     attaches one automatically when ``params.backend == "flow"``.
     """
 
+    #: Incremental re-solving engages only above this many active flows;
+    #: below it a full solve is cheap and keeps small scenarios bit-
+    #: identical to the non-incremental reference the engine tests pin.
+    INCREMENTAL_MIN_ACTIVE = 64
+    #: Fall back to a full solve when the affected flows reach this
+    #: fraction of the active population (the subset solve would not be
+    #: meaningfully cheaper, and the full path is simpler to reason
+    #: about under churn).
+    FULL_SOLVE_FRACTION = 0.5
+
     def __init__(self, network: "object") -> None:
         # typed loosely to avoid a dataplane import cycle; the attribute
         # uses below define the real interface (Network)
         self.network = network
         self.sim: Simulator = network.sim  # type: ignore[attr-defined]
         self.params = network.params  # type: ignore[attr-defined]
+        #: fair-share engine for the default solver ("auto" | "numpy" |
+        #: "python"); both engines are bitwise-identical, so this is a
+        #: speed knob only
+        self.engine: str = getattr(self.params, "flow_engine", "auto")
         #: the fair-share solver — an instance seam so seeded mutants can
         #: corrupt it (mirroring the incremental-SPF corruption mutant)
-        self.solver: Callable[..., Dict[object, float]] = max_min_rates
+        self.solver: Callable[..., Dict[str, float]] = self._default_solver
         self.flows: Dict[str, FluidFlow] = {}
         self._active: Dict[str, FluidFlow] = {}
+        self._reliable_active: Set[str] = set()
         self._pending_at: Optional[Time] = None
         self._drain_handles: Dict[str, object] = {}
+        #: reliable flows whose drain prediction may have moved since the
+        #: last scheduling pass (rate/offer change); others keep their
+        #: scheduled drain — the prediction is linear in both
+        self._drain_dirty: Set[str] = set()
+        # --- path-resolution cache (invalidated per consulted node) ---
+        self._path_cache: Dict[str, _ResolvedPath] = {}
+        self._flows_by_node: Dict[str, Set[str]] = {}
+        self._changed_nodes: Set[str] = set()
+        self._needs_resolve: Set[str] = set()
+        # --- incremental solve state (last solve's frozen outputs) ---
+        self._last_inputs: Dict[str, _SolverInput] = {}
+        self._last_rates: Dict[str, float] = {}
+        self._departed: Set[str] = set()
+        self._link_comp: Dict[_Link, int] = {}
+        self._comp_members: Dict[int, Set[str]] = {}
+        self._comp_links: Dict[int, Set[_Link]] = {}
+        self._comp_counter = 0
         #: lifetime counters (surfaced through trial stats)
         self.recomputes = 0
         self.notifications = 0
+        self.path_resolutions = 0
+        self.path_cache_hits = 0
+        self.full_solves = 0
+        self.incremental_solves = 0
         self._subscribe()
+
+    def _default_solver(
+        self,
+        paths: Dict[str, Tuple[_Link, ...]],
+        capacity: Dict[_Link, float],
+        demand: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Solve with the configured engine (``self.solver`` stays an
+        instance attribute so mutants can wrap it)."""
+        rates = max_min_rates(paths, capacity, demand, engine=self.engine)
+        return {str(name): rate for name, rate in sorted(rates.items())}
 
     # -------------------------------------------------------- subscriptions
 
     def _subscribe(self) -> None:
         """Listen to every place network state can change (see module
-        docstring); all three hooks funnel into :meth:`_notify`."""
+        docstring); all hooks funnel into :meth:`_notify`, each recording
+        the node(s) whose state moved for path-cache invalidation."""
         network = self.network
-        for node in network.nodes.values():  # type: ignore[attr-defined]
-            node.epoch_listeners.append(self._notify)
+        nodes = network.nodes  # type: ignore[attr-defined]
+        for name in sorted(nodes):
+            node = nodes[name]
+            listener = self._node_listener(name)
+            node.epoch_listeners.append(listener)
             fib = getattr(node, "fib", None)
             if fib is not None:
-                fib.listeners.append(self._notify)
+                fib.listeners.append(listener)
         for link in network.links:  # type: ignore[attr-defined]
-            link.state_listeners.append(self._notify)
+            link.state_listeners.append(
+                self._link_listener(link.node_a.name, link.node_b.name)
+            )
+
+    def _node_listener(self, name: str) -> Callable[[], None]:
+        def on_change() -> None:
+            self._changed_nodes.add(name)
+            self._notify()
+
+        return on_change
+
+    def _link_listener(self, a: str, b: str) -> Callable[[], None]:
+        # an actual-state flip is consulted only by resolutions passing
+        # through an endpoint, so both endpoints key the invalidation
+        def on_change() -> None:
+            self._changed_nodes.add(a)
+            self._changed_nodes.add(b)
+            self._notify()
+
+        return on_change
 
     def _notify(self) -> None:
         """A network change happened *now*; coalesce into one recompute."""
@@ -319,7 +455,11 @@ class FluidTrafficModel:
 
     def _activate(self, flow: FluidFlow) -> None:
         flow.active = True
-        self._active[flow.spec.name] = flow
+        name = flow.spec.name
+        self._active[name] = flow
+        if flow.spec.reliable:
+            self._reliable_active.add(name)
+        self._needs_resolve.add(name)
         self._recompute()
 
     def _on_stop(self, flow: FluidFlow) -> None:
@@ -330,6 +470,10 @@ class FluidTrafficModel:
         if flow.spec.reliable:
             self._advance(flow, self.sim.now)
             if flow.offered_bytes(self.sim.now) - flow.delivered > 0.5:
+                # the offer rate drops to 0 here, so the drain
+                # prediction (if any) must be redone even if the
+                # fair-share rate does not move
+                self._drain_dirty.add(flow.spec.name)
                 self._recompute()
                 return
         self._deactivate(flow)
@@ -339,10 +483,18 @@ class FluidTrafficModel:
             return
         self._advance(flow, self.sim.now)
         flow.active = False
-        self._active.pop(flow.spec.name, None)
-        handle = self._drain_handles.pop(flow.spec.name, None)
+        name = flow.spec.name
+        self._active.pop(name, None)
+        self._reliable_active.discard(name)
+        self._needs_resolve.discard(name)
+        self._drain_dirty.discard(name)
+        cached = self._path_cache.pop(name, None)
+        if cached is not None:
+            self._unregister(name, cached.visited)
+        handle = self._drain_handles.pop(name, None)
         if handle is not None:
             handle.cancel()  # type: ignore[attr-defined]
+        self._departed.add(name)
         self._recompute()
 
     # ----------------------------------------------------------- recompute
@@ -359,58 +511,261 @@ class FluidTrafficModel:
             flow.delivered = min(flow.delivered, flow.offered_bytes(to))
         flow.advanced_to = to
 
-    def _resolve(self, spec: FlowSpec) -> Tuple[Optional[List[Tuple[str, str]]], Time, int]:
-        """(directed links, path delay, hop count) for a flow right now;
-        links is None when the flow is undeliverable."""
+    def _resolve(self, spec: FlowSpec) -> _ResolvedPath:
+        """The flow's path right now, with the node set the resolution
+        consulted (the cache invalidation key)."""
         path, complete = self.network.trace_route(  # type: ignore[attr-defined]
             spec.src, spec.dst, spec.protocol, spec.sport, spec.dport,
             check_actual=True,
         )
+        visited = tuple(sorted(set(path)))
         if not complete:
-            return None, 0, 0
-        links = list(zip(path, path[1:]))
+            return _ResolvedPath(None, 0, 0, visited)
+        links = tuple(zip(path, path[1:]))
         tx = transmission_delay(spec.packet_bytes, self.params.link_rate_gbps)
         per_hop = tx + self.params.propagation_delay
         switches = max(0, len(path) - 2)
         delay = len(links) * per_hop + switches * self.params.switch_processing_delay
-        return links, delay, switches
+        return _ResolvedPath(links, delay, switches, visited)
+
+    def _unregister(self, name: str, visited: Iterable[str]) -> None:
+        for node in visited:
+            members = self._flows_by_node.get(node)
+            if members is not None:
+                members.discard(name)
+                if not members:
+                    del self._flows_by_node[node]
+
+    def _refresh_paths(self, now: Time) -> Set[str]:
+        """Re-resolve every flow whose cached path may be stale (it
+        consulted a changed node, or it was never resolved); returns the
+        flows whose resolved links actually changed."""
+        active = self._active
+        stale: Set[str] = set()
+        if self._changed_nodes:
+            by_node = self._flows_by_node
+            for node in sorted(self._changed_nodes):
+                members = by_node.get(node)
+                if members:
+                    stale |= members
+            self._changed_nodes = set()
+        resolve = {name for name in stale if name in active}
+        resolve |= self._needs_resolve
+        self._needs_resolve = set()
+        self.path_cache_hits += len(active) - len(resolve)
+        input_changed: Set[str] = set()
+        for name in sorted(resolve):
+            flow = active[name]
+            old = self._path_cache.get(name)
+            resolved = self._resolve(flow.spec)
+            self.path_resolutions += 1
+            if old is None or old.visited != resolved.visited:
+                if old is not None:
+                    self._unregister(name, old.visited)
+                for node in resolved.visited:
+                    self._flows_by_node.setdefault(node, set()).add(name)
+            self._path_cache[name] = resolved
+            if old is None or old.links != resolved.links:
+                input_changed.add(name)
+            if resolved.links is None:
+                self._advance(flow, now)
+                self._append_segment(flow, now, 0.0, 0, 0)
+                if flow.spec.reliable:
+                    # a pending drain prediction is void on a dead path
+                    self._drain_dirty.add(name)
+        return input_changed
+
+    def _solver_input(self, flow: FluidFlow, now: Time) -> _SolverInput:
+        """What the solver would see for this flow right now (requires
+        reliable flows advanced to ``now``); None = no live path."""
+        cached = self._path_cache.get(flow.spec.name)
+        if cached is None or cached.links is None:
+            return None
+        spec = flow.spec
+        if spec.reliable and (
+            flow.offered_bytes(now) - flow.delivered > 0.5 or now >= spec.stop
+        ):
+            # backlogged: drain elastically at the fair-share rate
+            return (cached.links, None)
+        return (cached.links, spec.demand)
 
     def _recompute(self) -> None:
-        """Re-resolve every active flow and re-solve the fair shares."""
+        """Re-resolve stale paths, then re-solve fair shares for the
+        affected flows only (module docstring / DESIGN §13)."""
         now = self.sim.now
         self.recomputes += 1
-        for name in sorted(self._active):
-            self._advance(self._active[name], now)
+        active = self._active
 
-        paths: Dict[str, List[Tuple[str, str]]] = {}
-        meta: Dict[str, Tuple[Time, int]] = {}
-        demand: Dict[str, float] = {}
-        capacity: Dict[Tuple[str, str], float] = {}
-        bytes_per_ns = self.params.link_rate_gbps / 8.0
-        for name in sorted(self._active):
-            flow = self._active[name]
-            spec = flow.spec
-            links, delay, hops = self._resolve(spec)
-            if links is None:
-                self._append_segment(flow, now, 0.0, 0, 0)
+        # reliable flows' demands depend on their backlog at `now`
+        for name in sorted(self._reliable_active):
+            self._advance(active[name], now)
+
+        input_changed = self._refresh_paths(now)
+
+        changed: Set[str] = set()
+        for name in sorted(input_changed | self._reliable_active):
+            flow = active.get(name)
+            if flow is None:
                 continue
+            fresh_input = self._solver_input(flow, now)
+            if self._last_inputs.get(name) != fresh_input:
+                changed.add(name)
+        departed = {n for n in self._departed if n in self._last_inputs}
+        self._departed = set()
+        moved = changed | departed
+        if not moved:
+            self._schedule_drains(now)
+            return
+
+        # links whose sharing changed: every link a moved flow used to
+        # cross, plus every link a changed flow now crosses
+        touched: Set[_Link] = set()
+        for name in moved:
+            old = self._last_inputs.get(name)
+            if old is not None:
+                touched.update(old[0])
+        for name in changed:
+            cached = self._path_cache.get(name)
+            if cached is not None and cached.links is not None:
+                touched.update(cached.links)
+        comps = {self._link_comp[link] for link in touched if link in self._link_comp}
+        scope: Set[str] = set(changed)
+        for comp in sorted(comps):
+            scope |= self._comp_members.get(comp, set())
+        solvable: List[str] = []
+        for name in sorted(scope):
+            flow = active.get(name)
+            if flow is None:
+                continue
+            cached = self._path_cache.get(name)
+            if cached is not None and cached.links is not None:
+                solvable.append(name)
+        # moved flows that left the solve (departed, or path died) drop
+        # out of the frozen state
+        keep = set(solvable)
+        for name in sorted(moved):
+            if name not in keep:
+                self._last_inputs.pop(name, None)
+                self._last_rates.pop(name, None)
+
+        n_active = len(active)
+        if (
+            n_active < self.INCREMENTAL_MIN_ACTIVE
+            or len(solvable) >= self.FULL_SOLVE_FRACTION * n_active
+        ):
+            self._solve(now, sorted(active), full=True)
+        else:
+            self._invalidate_components(comps)
+            self._solve(now, solvable, full=False)
+        self._schedule_drains(now)
+
+    def _solve(self, now: Time, names: List[str], full: bool) -> None:
+        """Run the fair-share solver over ``names`` (dead-path flows are
+        skipped) and emit the resulting segments.
+
+        ``full=True`` replaces the entire frozen state; ``full=False``
+        assumes the caller already invalidated every component the
+        solved flows can touch, and splices the subset's rates into the
+        frozen state — exact because no flow outside the subset shares a
+        link with it (max-min decomposes over sharing components).
+        """
+        active = self._active
+        bytes_per_ns = self.params.link_rate_gbps / 8.0
+        paths: Dict[str, Tuple[_Link, ...]] = {}
+        demand: Dict[str, float] = {}
+        capacity: Dict[_Link, float] = {}
+        inputs: Dict[str, _SolverInput] = {} if full else self._last_inputs
+        for name in names:
+            flow = active[name]
+            cached = self._path_cache.get(name)
+            if cached is None or cached.links is None:
+                continue
+            new_input = self._solver_input(flow, now)
+            assert new_input is not None
+            inputs[name] = new_input
+            links, dem = new_input
             paths[name] = links
-            meta[name] = (delay, hops)
+            if dem is not None:
+                demand[name] = dem
             for link in links:
                 capacity[link] = bytes_per_ns
-            if spec.reliable and (
-                flow.offered_bytes(now) - flow.delivered > 0.5 or now >= spec.stop
-            ):
-                # backlogged: drain elastically at the fair-share rate
-                pass
-            else:
-                demand[name] = spec.demand
         rates = self.solver(paths, capacity, demand)
+        if full:
+            self.full_solves += 1
+            self._last_inputs = inputs
+            self._last_rates = {}
+            self._link_comp = {}
+            self._comp_members = {}
+            self._comp_links = {}
+        else:
+            self.incremental_solves += 1
+        self._assign_components(paths)
         for name in sorted(paths):
-            flow = self._active[name]
-            delay, hops = meta[name]
-            self._append_segment(flow, now, float(rates[name]), delay, hops)
-        self._schedule_drains(now)
+            flow = active[name]
+            cached = self._path_cache[name]
+            rate = float(rates[name])
+            self._last_rates[name] = rate
+            self._advance(flow, now)
+            self._append_segment(flow, now, rate, cached.delay, cached.hops)
+            if flow.spec.reliable:
+                self._drain_dirty.add(name)
+
+    # ----------------------------------------------- sharing components
+
+    def _invalidate_components(self, comps: Iterable[int]) -> None:
+        for comp in sorted(comps):
+            for link in self._comp_links.pop(comp, ()):
+                self._link_comp.pop(link, None)
+            self._comp_members.pop(comp, None)
+
+    def _assign_components(self, paths: Dict[str, Tuple[_Link, ...]]) -> None:
+        """Group the solved flows into connected components of the
+        link-sharing graph (union-find over their links) and record the
+        membership under fresh component ids.  Every link here is
+        unassigned by construction: a full solve cleared the maps, an
+        incremental one invalidated every component it can touch."""
+        if not paths:
+            return
+        parent: Dict[_Link, _Link] = {}
+
+        def find(link: _Link) -> _Link:
+            root = link
+            while parent[root] != root:
+                root = parent[root]
+            while parent[link] != root:
+                parent[link], link = root, parent[link]
+            return root
+
+        for name in sorted(paths):
+            links = paths[name]
+            first = links[0]
+            if first not in parent:
+                parent[first] = first
+            anchor = find(first)
+            for link in links[1:]:
+                if link not in parent:
+                    parent[link] = anchor
+                else:
+                    root = find(link)
+                    if root != anchor:
+                        parent[root] = anchor
+        comp_of_root: Dict[_Link, int] = {}
+        for name in sorted(paths):
+            root = find(paths[name][0])
+            cid = comp_of_root.get(root)
+            if cid is None:
+                self._comp_counter += 1
+                cid = self._comp_counter
+                comp_of_root[root] = cid
+                self._comp_members[cid] = set()
+                self._comp_links[cid] = set()
+            self._comp_members[cid].add(name)
+        for link in sorted(parent):
+            cid = comp_of_root[find(link)]
+            self._link_comp[link] = cid
+            self._comp_links[cid].add(link)
+
+    # -------------------------------------------------------------- output
 
     def _append_segment(
         self, flow: FluidFlow, now: Time, rate: float, delay: Time, hops: int
@@ -425,11 +780,19 @@ class FluidTrafficModel:
         segments.append(FlowSegment(start=now, rate=rate, delay=delay, hops=hops))
 
     def _schedule_drains(self, now: Time) -> None:
-        """For each backlogged reliable flow, schedule the instant its
-        backlog empties — the rate changes there (drain -> paced) without
-        any network event to trigger a recompute."""
-        for name in sorted(self._active):
-            flow = self._active[name]
+        """For each dirty backlogged reliable flow, schedule the instant
+        its backlog empties — the rate changes there (drain -> paced)
+        without any network event to trigger a recompute.  Flows whose
+        rate and offer rate did not move keep their scheduled drain: the
+        prediction is linear, so it stays correct."""
+        if not self._drain_dirty:
+            return
+        dirty = self._drain_dirty
+        self._drain_dirty = set()
+        for name in sorted(dirty):
+            flow = self._active.get(name)
+            if flow is None:
+                continue
             spec = flow.spec
             old = self._drain_handles.pop(name, None)
             if old is not None:
@@ -479,4 +842,8 @@ class FluidTrafficModel:
             "flows": len(self.flows),
             "recomputes": self.recomputes,
             "notifications": self.notifications,
+            "path_resolutions": self.path_resolutions,
+            "path_cache_hits": self.path_cache_hits,
+            "full_solves": self.full_solves,
+            "incremental_solves": self.incremental_solves,
         }

@@ -24,7 +24,17 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sim.flow.fairshare import FairShareError, link_loads, max_min_rates
+import repro.sim.flow.fairshare as fairshare
+from repro.sim.flow.fairshare import (
+    ENGINES,
+    FairShareError,
+    build_incidence,
+    have_numpy,
+    link_loads,
+    max_min_rates,
+)
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
 
 # ------------------------------------------------------------- strategies
 #
@@ -219,6 +229,83 @@ def test_insertion_order_never_matters(instance, seed):
         {fid: demands[fid] for fid in demand_order},
     )
     assert shuffled == base
+
+
+# ----------------------------------------------- engine equivalence
+#
+# The vectorized engine's contract is *bitwise* agreement with the
+# python reference (same freezing order, same float trajectory — see
+# the fairshare module docstring), so these compare with ==, never
+# pytest.approx.
+
+
+@needs_numpy
+@settings(max_examples=250, deadline=None)
+@given(instance=instances)
+def test_vector_engine_agrees_bitwise_with_python(instance):
+    caps, paths, demands = instance
+    py = max_min_rates(paths, caps, demands, engine="python")
+    vec = max_min_rates(paths, caps, demands, engine="numpy")
+    assert vec == py
+
+
+@needs_numpy
+def test_vector_engine_agrees_on_a_structured_many_round_instance():
+    """A deterministic instance shaped like the bench workload (many
+    capacity classes, mixed capped/elastic, multi-hop paths) — hundreds
+    of freezing rounds, which is where the two engines' float
+    trajectories would drift if their orders ever differed."""
+    n_links, n_flows = 120, 2000
+    caps = {f"L{i:03d}": 0.5 + (i % 48) * 0.25 for i in range(n_links)}
+    paths = {
+        f"f{i:04d}": [f"L{(7 * i + j) % n_links:03d}" for j in range(4)]
+        for i in range(n_flows)
+    }
+    demands = {
+        fid: 0.05 + (i % 29) * 0.01
+        for i, fid in enumerate(sorted(paths))
+        if i % 3 != 0
+    }
+    py = max_min_rates(paths, caps, demands, engine="python")
+    vec = max_min_rates(paths, caps, demands, engine="numpy")
+    assert vec == py
+
+
+def test_engine_contract_matches_spf_batch():
+    assert ENGINES == ("auto", "numpy", "python")
+    with pytest.raises(ValueError):
+        max_min_rates({"a": []}, {}, engine="fortran")
+
+
+def test_numpy_engine_unavailable(monkeypatch):
+    """Requesting numpy without numpy is a hard error; auto silently
+    falls back to python (the spf_batch engine contract)."""
+    monkeypatch.setattr(fairshare, "_np", None)
+    with pytest.raises(RuntimeError):
+        max_min_rates({"a": ["L0"]}, {"L0": 1.0}, engine="numpy")
+    assert not fairshare.have_numpy()
+    assert max_min_rates({"a": ["L0"]}, {"L0": 1.0}, engine="auto") == {"a": 1.0}
+
+
+# --------------------------------------------------- incidence layout
+
+
+def test_incidence_is_canonical_and_counts_repeats():
+    inc = build_incidence({"b": ["L1", "L0", "L1"], "a": [], "c": ["L0"]})
+    # rows in sorted flow-id order, empty-path flows excluded
+    assert inc.flow_ids == ("b", "c")
+    assert inc.link_ids == ("L0", "L1")
+    assert len(inc) == 2
+    # crossings stay in path order with duplicates preserved (a link
+    # crossed twice really is contended twice)
+    assert inc.row_links(0) == (1, 0, 1)
+    assert inc.row_links(1) == (0,)
+    assert inc.indptr == (0, 3, 4)
+
+
+def test_incidence_validation_names_the_flow_and_link():
+    with pytest.raises(FairShareError, match=r"'bad'.*'nope'"):
+        build_incidence({"bad": ["nope"]}, {"L0": 1.0})
 
 
 # ------------------------------------------------- known instances

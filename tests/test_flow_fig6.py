@@ -1,0 +1,135 @@
+"""The fluid Fig 6 port: draw mirroring, FCT semantics, trial kind.
+
+The fluid partition-aggregate twin must consume the packet twin's
+random streams draw for draw (same seed => same request schedule and
+requester/worker picks), complete every request on a healthy fabric
+well inside the deadline, and surface its FCT tail through the
+``flow-fig6`` campaign trial kind.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import TrialContext, trial_runner
+from repro.campaign.telemetry import QUANTILES
+from repro.dataplane.params import NetworkParams
+from repro.experiments.common import DEFAULT_WARMUP, build_bundle
+from repro.experiments.partition_aggregate import (
+    PartitionAggregateConfig,
+    run_flow_partition_aggregate,
+)
+from repro.metrics.requests import DEFAULT_DEADLINE
+from repro.obs import Observability
+from repro.sim.flow.model import FluidTrafficModel
+from repro.sim.randomness import RandomStreams
+from repro.sim.units import milliseconds, seconds
+from repro.topology.fattree import fat_tree
+from repro.workloads.flow_partition_aggregate import (
+    FlowBackgroundTraffic,
+    FlowPartitionAggregateWorkload,
+)
+from repro.workloads.partition_aggregate import PartitionAggregateWorkload
+
+
+def _flow_bundle(seed: int = 7):
+    bundle = build_bundle(
+        fat_tree(4),
+        params=NetworkParams().with_overrides(backend="flow"),
+        seed=seed,
+    )
+    bundle.converge(DEFAULT_WARMUP)
+    assert isinstance(bundle.flow_model, FluidTrafficModel)
+    return bundle, bundle.flow_model
+
+
+def test_request_draws_mirror_packet_twin():
+    """Same seed => the fluid workload draws the identical request
+    schedule and requester/worker picks as the packet workload (the rng
+    stream states end up equal, so every draw matched)."""
+    seed, n_requests, horizon = 11, 6, seconds(1)
+
+    packet = build_bundle(fat_tree(4), seed=seed)
+    packet.converge(DEFAULT_WARMUP)
+    packet_wl = PartitionAggregateWorkload(
+        packet.network, packet.streams, n_requests=n_requests
+    )
+    packet_wl.schedule(DEFAULT_WARMUP, horizon)
+
+    fluid, model = _flow_bundle(seed=seed)
+    fluid_wl = FlowPartitionAggregateWorkload(
+        fluid.network, model, fluid.streams, n_requests=n_requests
+    )
+    fluid_wl.schedule(DEFAULT_WARMUP, horizon)
+
+    end = DEFAULT_WARMUP + horizon + seconds(1)
+    packet.sim.run(until=end)
+    fluid.sim.run(until=end)
+
+    assert [r.started_at for r in fluid_wl.stats.records] == [
+        r.started_at for r in packet_wl.stats.records
+    ]
+    assert (
+        fluid.streams.stream("partition-aggregate").getstate()
+        == packet.streams.stream("partition-aggregate").getstate()
+    )
+
+
+def test_healthy_fabric_completes_inside_deadline():
+    """No failures: every request's slowest fan-out response still lands
+    orders of magnitude under the 250 ms deadline."""
+    bundle, model = _flow_bundle()
+    workload = FlowPartitionAggregateWorkload(
+        bundle.network, model, bundle.streams, n_requests=5
+    )
+    background = FlowBackgroundTraffic(
+        bundle.network, model, bundle.streams
+    )
+    workload.schedule(DEFAULT_WARMUP, seconds(1))
+    background.schedule(4, DEFAULT_WARMUP, seconds(1))
+    end = DEFAULT_WARMUP + seconds(2)
+    bundle.sim.run(until=end)
+    model.finalize()
+    workload.collect()
+    background.collect()
+    workload.stats.censored_at = end
+
+    assert workload.stats.total == 5
+    assert all(r.completed_at is not None for r in workload.stats.records)
+    times = workload.stats.completion_times()
+    assert max(times) < milliseconds(10)
+    assert workload.stats.deadline_miss_ratio(DEFAULT_DEADLINE) == 0.0
+    assert background.completed == len(background.flows) == 4
+    assert all(f.size_bytes >= 1448 for f in background.flows)
+
+
+def test_flow_fig6_experiment_cell():
+    """One experiment-level cell under random failures: every request is
+    accounted for (completed or censored) and the tail is monotone."""
+    config = PartitionAggregateConfig(
+        duration=seconds(4), n_requests=10, n_background_flows=5,
+        ports=4, seed=3,
+    )
+    result = run_flow_partition_aggregate("fat-tree", config)
+    assert result.stats.total == 10
+    assert result.stats.censored_at is not None
+    assert result.background_total == 5
+    assert 0.0 <= result.deadline_miss_ratio <= 1.0
+    p50, p95, p99 = (result.stats.percentile(q) for q in QUANTILES)
+    assert p50 <= p95 <= p99
+
+
+def test_flow_fig6_trial_kind():
+    """The registered campaign kind reports the FCT tail at the
+    telemetry quantiles."""
+    runner = trial_runner("flow-fig6")
+    ctx = TrialContext(seed=5, streams=RandomStreams(5), obs=Observability())
+    payload = runner(
+        ctx, topology="fat-tree", ports=4, duration_s=4.0,
+        n_requests=8, n_background_flows=4,
+    )
+    assert payload["requests"] == 8
+    assert 0 <= payload["completed"] <= 8
+    assert 0.0 <= payload["deadline_miss_ratio"] <= 1.0
+    quantile_keys = [f"fct_p{q}_ms" for q in QUANTILES]
+    assert all(k in payload for k in quantile_keys)
+    p50, p95, p99 = (payload[k] for k in quantile_keys)
+    assert p50 <= p95 <= p99

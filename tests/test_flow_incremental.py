@@ -1,0 +1,222 @@
+"""Differential validation of the fluid model's incremental recompute.
+
+The path-resolution cache and the component-scoped incremental solve
+(:mod:`repro.sim.flow.model`, DESIGN §13) are pure speedups: a model
+running with them must produce the same flow timelines as one forced to
+re-resolve and re-solve everything on every recompute.  This file pins
+that equivalence the same way ``test_fastpath.py`` pins the packet
+data-plane caches:
+
+1. **Random link flaps** (hypothesis) — arbitrary fail/restore
+   schedules against a fat-tree fluid workload, incremental vs
+   forced-full, comparing every flow's segment timeline and delivered
+   bytes.
+2. **Disjoint components** — a workload whose sharing graph really
+   decomposes (per-rack flows) must take the incremental path (the
+   counters prove it) and still match the forced-full reference.
+3. **Cache accounting** — a change re-resolves only the flows whose
+   cached path consulted a changed node.
+
+The incremental solve may legitimately differ from the full reference
+in the last float bit (the subset solve's freezing rounds regroup) and
+a reliable flow's predicted drain instant may shift by one nanosecond
+(the prediction is re-derived from advanced state instead of
+re-truncated every recompute), so comparisons use a 1e-9 relative
+tolerance on rates and a 2 ns tolerance on segment boundaries — both
+far below anything the experiment layer can observe.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dataplane.network import Network
+from repro.dataplane.params import NetworkParams
+from repro.sim.engine import Simulator
+from repro.sim.flow.model import FluidTrafficModel
+from repro.sim.flow.warmstart import warm_start_linkstate
+from repro.sim.units import milliseconds
+from repro.topology.fattree import fat_tree
+
+_RATE_TOL = 1e-9
+_START_TOL = 2  # ns
+
+
+def _build_model(force_full: bool) -> tuple[Simulator, Network, FluidTrafficModel]:
+    topo = fat_tree(4)
+    sim = Simulator()
+    network = Network(topo, sim, NetworkParams(backend="flow"))
+    warm_start_linkstate(network)
+    model = FluidTrafficModel(network)
+    if force_full:
+        model.INCREMENTAL_MIN_ACTIVE = 10**9
+    else:
+        # engage the incremental path far below its production
+        # thresholds so small test workloads actually exercise it
+        model.INCREMENTAL_MIN_ACTIVE = 4
+        model.FULL_SOLVE_FRACTION = 0.98
+    return sim, network, model
+
+
+def _hosts(network: Network) -> list[str]:
+    return sorted(name for name in network.nodes if name.startswith("h"))
+
+
+def _add_mesh_flows(model: FluidTrafficModel, hosts: list[str], count: int) -> None:
+    pairs = [(a, b) for a, b in itertools.product(hosts, hosts) if a != b]
+    for i, (src, dst) in enumerate(pairs[:count]):
+        model.add_cbr_flow(
+            f"f{i:03d}", src, dst, dport=5000 + i, sport=40000 + i,
+            packet_bytes=1448, interval=20_000,
+            start=milliseconds(1) + i * 1000, stop=milliseconds(300),
+            reliable=(i % 3 == 0),
+        )
+
+
+def _run(force_full: bool, flaps, count: int = 40) -> FluidTrafficModel:
+    sim, network, model = _build_model(force_full)
+    _add_mesh_flows(model, _hosts(network), count)
+    links = sorted(
+        network.links, key=lambda link: (link.node_a.name, link.node_b.name)
+    )
+    for index, fail_ms, hold_ms in flaps:
+        link = links[index % len(links)]
+        sim.schedule_at(milliseconds(fail_ms), link.fail)
+        sim.schedule_at(milliseconds(fail_ms + hold_ms), link.restore)
+    sim.run(until=milliseconds(350))
+    model.finalize()
+    return model
+
+
+def _assert_models_agree(full: FluidTrafficModel, inc: FluidTrafficModel) -> None:
+    assert sorted(full.flows) == sorted(inc.flows)
+    for name in sorted(full.flows):
+        ref, got = full.flows[name], inc.flows[name]
+        assert len(ref.segments) == len(got.segments), name
+        for a, b in zip(ref.segments, got.segments):
+            assert abs(a.start - b.start) <= _START_TOL, (name, a, b)
+            assert a.delay == b.delay and a.hops == b.hops, (name, a, b)
+            scale = max(abs(a.rate), 1.0)
+            assert abs(a.rate - b.rate) <= _RATE_TOL * scale, (name, a, b)
+        slack = _RATE_TOL * max(ref.delivered, 1.0) + 2.0 * max(
+            (seg.rate for seg in ref.segments), default=0.0
+        )
+        assert abs(ref.delivered - got.delivered) <= slack, name
+
+
+# ------------------------------------------------- 1. random link flaps
+
+_flap = st.tuples(
+    st.integers(min_value=0, max_value=63),   # link index (mod #links)
+    st.integers(min_value=20, max_value=250),  # fail instant, ms
+    st.integers(min_value=5, max_value=80),    # hold before restore, ms
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(flaps=st.lists(_flap, max_size=4))
+def test_incremental_model_equals_full_under_link_flaps(flaps):
+    full = _run(force_full=True, flaps=flaps)
+    inc = _run(force_full=False, flaps=flaps)
+    _assert_models_agree(full, inc)
+    # same recompute structure: the incremental machinery must never
+    # change *when* the model recomputes, only how much work each one does
+    assert inc.recomputes == full.recomputes
+    assert inc.path_resolutions <= full.path_resolutions
+
+
+# --------------------------------------------- 2. disjoint components
+
+
+def _add_rack_local_flows(model: FluidTrafficModel, network: Network) -> int:
+    """Flows confined to host pairs under the same ToR: every rack is
+    its own sharing component, so a single-rack change must not trigger
+    a fabric-wide solve."""
+    hosts = _hosts(network)
+    by_tor: dict[str, list[str]] = {}
+    for host in hosts:
+        peers = sorted(network.nodes[host].links_by_peer)
+        by_tor.setdefault(peers[0], []).append(host)
+    count = 0
+    for tor in sorted(by_tor):
+        rack = by_tor[tor]
+        for i, (src, dst) in enumerate(itertools.permutations(rack, 2)):
+            model.add_cbr_flow(
+                f"{tor}-x{i}", src, dst, dport=6000 + i, sport=41000 + count,
+                packet_bytes=1448, interval=10_000,
+                start=milliseconds(1), stop=milliseconds(300),
+                reliable=(count % 2 == 0),
+            )
+            count += 1
+    return count
+
+
+def test_disjoint_components_take_the_incremental_path():
+    def run(force_full: bool) -> FluidTrafficModel:
+        sim, network, model = _build_model(force_full)
+        n = _add_rack_local_flows(model, network)
+        assert n >= 8
+        # flap one host uplink: exactly one rack's component is affected
+        hosts = _hosts(network)
+        victim = next(
+            link for link in network.links
+            if hosts[0] in (link.node_a.name, link.node_b.name)
+        )
+        sim.schedule_at(milliseconds(60), victim.fail)
+        sim.schedule_at(milliseconds(120), victim.restore)
+        sim.run(until=milliseconds(350))
+        model.finalize()
+        return model
+
+    full = run(force_full=True)
+    inc = run(force_full=False)
+    _assert_models_agree(full, inc)
+    stats = inc.stats()
+    assert stats["incremental_solves"] > 0, stats
+    assert stats["full_solves"] < full.stats()["full_solves"], stats
+
+
+# ----------------------------------------------- 3. cache accounting
+
+
+def test_path_cache_reresolves_only_affected_flows():
+    sim, network, model = _build_model(force_full=True)
+    hosts = _hosts(network)
+    # near: inter-rack within pod 0 (its path climbs to an agg switch);
+    # far: rack-local in pod 3 — node-disjoint from anything in pod 0
+    model.add_cbr_flow(
+        "near", hosts[0], hosts[2], dport=5000, sport=40000,
+        interval=20_000, start=milliseconds(1), stop=milliseconds(280),
+    )
+    model.add_cbr_flow(
+        "far", hosts[-2], hosts[-1], dport=5001, sport=40001,
+        interval=20_000, start=milliseconds(1), stop=milliseconds(280),
+    )
+    sim.run(until=milliseconds(50))
+    assert model.path_resolutions == 2  # one per activation
+    near_path = model._path_cache["near"]
+    far_path = model._path_cache["far"]
+    assert near_path.links is not None and len(near_path.links) == 4
+    assert set(near_path.visited).isdisjoint(far_path.visited)
+
+    # fail the tor->agg link the near flow resolved through; until the
+    # SPF throttle reconverges the fabric (past this test's horizon),
+    # the only nodes that change are on the near flow's path
+    tor, agg = near_path.links[1]
+    victim = network.links_between(tor, agg)[0]
+    sim.schedule_at(milliseconds(60), victim.fail)
+    sim.run(until=milliseconds(280))
+    assert model._path_cache["far"] is far_path
+    assert model._path_cache["near"] is not near_path
+    assert model.path_cache_hits > 0
+    # the near flow saw the outage (until detection reroutes it around
+    # the dead agg), the far flow never did
+    model.finalize()
+    assert model.flows["near"].outage_intervals() != []
+    assert model.flows["far"].outage_intervals() == []

@@ -55,6 +55,50 @@ class TestLsdb:
     def test_two_way_unknown_origin(self):
         assert list(Lsdb().two_way_neighbors("ghost")) == []
 
+    def test_fingerprint_patched_across_inserts(self):
+        """A materialized fingerprint survives inserts unchanged in value
+        terms: it must always equal a from-scratch recompute."""
+        db = Lsdb()
+        db.insert(lsa("a", ["b"], seq=1))
+        db.insert(lsa("b", ["a"], ["10.11.0.0/24"], seq=1))
+        before = db.fingerprint()  # materialize, then patch in place
+        db.insert(lsa("c", ["a"], seq=1))          # new origin
+        db.insert(lsa("a", ["b", "c"], seq=2))     # content change
+        seq_only = db.fingerprint()
+        db.insert(lsa("b", ["a"], ["10.11.0.0/24"], seq=9))  # seq-only
+        assert db.fingerprint() is seq_only
+        rebuilt = Lsdb()
+        for entry in db.all():
+            rebuilt.insert(entry)
+        assert db.fingerprint() == rebuilt.fingerprint()
+        assert db.fingerprint() != before
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abcde"),                 # origin
+            st.integers(min_value=1, max_value=4),    # seq
+            st.lists(st.sampled_from("abcde"), max_size=3),  # neighbors
+        ),
+        max_size=20,
+    ),
+    st.integers(min_value=0, max_value=20),
+)
+def test_fingerprint_incremental_matches_recompute(inserts, read_at):
+    """The bisect-patched fingerprint is indistinguishable from the lazy
+    full recompute, no matter when it gets materialized."""
+    db = Lsdb()
+    for i, (origin, seq, neighbors) in enumerate(inserts):
+        if i == read_at:
+            db.fingerprint()  # materialize mid-stream: later inserts patch
+        db.insert(lsa(origin, neighbors, seq=seq))
+    rebuilt = Lsdb()
+    for entry in db.all():
+        rebuilt.insert(entry)
+    assert db.fingerprint() == rebuilt.fingerprint()
+
 
 class TestComputeRoutes:
     def build_db(self, edges, prefixes):
